@@ -1,0 +1,95 @@
+// Command msfu (magic-state functional unit) builds, maps and simulates
+// one Bravyi-Haah block-code distillation factory and prints its resource
+// report.
+//
+// Usage:
+//
+//	msfu -capacity 16 -levels 2 -strategy hs -reuse [-seed N] [-estimate]
+//
+// Strategies: random, line, fd, gp, hs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"magicstate"
+)
+
+func main() {
+	capacity := flag.Int("capacity", 8, "distilled states per factory run (k^levels)")
+	levels := flag.Int("levels", 1, "block-code recursion depth")
+	strategy := flag.String("strategy", "", "mapping strategy: random|line|fd|gp|hs (default: hs for levels>=2, line otherwise)")
+	reuse := flag.Bool("reuse", false, "reuse measured qubits across rounds")
+	seed := flag.Int64("seed", 1, "random seed")
+	noBarriers := flag.Bool("nobarriers", false, "drop inter-round scheduling fences")
+	estimate := flag.Bool("estimate", false, "also print the physical resource estimate")
+	traceFlag := flag.Bool("trace", false, "also print a utilization trace (concurrency, per-round timing)")
+	style := flag.String("style", "braiding", "interaction style: braiding|surgery|teleport (§IX)")
+	distance := flag.Int("distance", 0, "code distance for distance-sensitive styles (default 7)")
+	flag.Parse()
+
+	st, ok := map[string]magicstate.InteractionStyle{
+		"braiding": magicstate.Braiding,
+		"surgery":  magicstate.LatticeSurgery,
+		"teleport": magicstate.Teleportation,
+	}[*style]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown style %q\n", *style)
+		os.Exit(2)
+	}
+
+	spec := magicstate.FactorySpec{Capacity: *capacity, Levels: *levels, Reuse: *reuse}
+	opts := magicstate.Options{
+		Seed: *seed, DisableBarriers: *noBarriers, Trace: *traceFlag,
+		Style: st, Distance: *distance,
+	}
+	if *strategy != "" {
+		s, ok := map[string]magicstate.Strategy{
+			"random": magicstate.RandomMapping,
+			"line":   magicstate.LinearMapping,
+			"fd":     magicstate.ForceDirected,
+			"gp":     magicstate.GraphPartitioning,
+			"hs":     magicstate.HierarchicalStitching,
+		}[*strategy]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+			os.Exit(2)
+		}
+		opts = opts.WithStrategy(s)
+	}
+
+	res, err := magicstate.Optimize(spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("factory: capacity %d, %d level(s), reuse=%v, strategy=%s\n",
+		*capacity, *levels, *reuse, res.Strategy)
+	fmt.Printf("  latency:  %d cycles (lower bound %d)\n", res.Latency, res.CriticalLatency)
+	fmt.Printf("  area:     %d logical qubits\n", res.Area)
+	fmt.Printf("  volume:   %.4g qubit-cycles (lower bound %.4g)\n", res.Volume, res.CriticalVolume)
+	if res.PermutationLatency > 0 {
+		fmt.Printf("  permute:  %d cycles (inter-round step)\n", res.PermutationLatency)
+	}
+
+	if *traceFlag {
+		fmt.Print(res.Trace)
+	}
+
+	if *estimate {
+		est, err := magicstate.EstimateResources(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("physical estimate (p=1e-3, inject=5e-3, balanced investment):\n")
+		for r, d := range est.RoundDistances {
+			fmt.Printf("  round %d: distance %d, %d physical qubits\n",
+				r+1, d, est.PhysicalQubitsPerRound[r])
+		}
+		fmt.Printf("  output state error: %.3g\n", est.OutputError)
+		fmt.Printf("  expected runs per successful batch: %.3f\n", est.ExpectedRunsPerBatch)
+	}
+}

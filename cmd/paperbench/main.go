@@ -1,0 +1,280 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (§VIII) on this repository's implementation.
+//
+// Usage:
+//
+//	paperbench [-seed N] [-quick] [artifact ...]
+//
+// Artifacts: fig6 fig7a fig7b fig9ab fig9d fig10a fig10b table1 all
+// (fig10a covers the single-level panels 10a/10b/10e; fig10b the
+// two-level panels 10c/10d/10f). The extension artifacts ext-styles,
+// ext-area, ext-protocols, ext-yield and ext-stitchgen cover the §IX
+// future-work and §III related-work studies; `ext` runs all of them.
+// -quick shrinks the capacity sweeps so a full pass finishes in well
+// under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"magicstate/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed shared by all experiments")
+	quick := flag.Bool("quick", false, "shrink capacity sweeps for a fast smoke pass")
+	samples := flag.Int("fig6samples", 60, "randomized mappings for fig6")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	writeCSV := func(name string, header []string, rows [][]string) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		experiments.CSV(f, header, rows)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	all := want["all"]
+
+	f7l1 := experiments.PaperFig7L1Capacities
+	f7l2 := experiments.PaperFig7L2Capacities
+	f9 := experiments.PaperFig9Capacities
+	f10l1 := experiments.PaperFig10L1Capacities
+	f10l2 := experiments.PaperFig10L2Capacities
+	t1l1 := experiments.PaperTable1L1
+	t1l2 := experiments.PaperTable1L2
+	if *quick {
+		f7l1, f7l2 = []int{2, 4, 8}, []int{4, 16}
+		f9 = []int{4, 16}
+		f10l1, f10l2 = []int{2, 4, 8}, []int{4, 16}
+		t1l1, t1l2 = []int{2, 4}, []int{4, 16}
+		*samples = 24
+	}
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig6", func() error {
+		r, err := experiments.Fig6(8, *samples, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig6(os.Stdout, r)
+		var rows [][]string
+		for _, p := range r.Points {
+			rows = append(rows, []string{
+				fmt.Sprint(p.Crossings), fmt.Sprintf("%.4f", p.AvgManhattan),
+				fmt.Sprintf("%.4f", p.AvgSpacing), fmt.Sprint(p.Latency)})
+		}
+		writeCSV("fig6.csv", []string{"crossings", "avg_manhattan", "avg_spacing", "latency"}, rows)
+		return nil
+	})
+	run("fig7a", func() error {
+		rows, err := experiments.Fig7(1, f7l1, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig7(os.Stdout, 1, rows)
+		return nil
+	})
+	run("fig7b", func() error {
+		rows, err := experiments.Fig7(2, f7l2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig7(os.Stdout, 2, rows)
+		return nil
+	})
+	run("fig9ab", func() error {
+		rows, err := experiments.Fig9Reuse(f9, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig9Reuse(os.Stdout, rows)
+		return nil
+	})
+	run("fig9d", func() error {
+		rows, err := experiments.Fig9Hops(f9, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig9Hops(os.Stdout, rows)
+		return nil
+	})
+	run("fig10a", func() error {
+		rows, err := experiments.Fig10(1, f10l1, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig10(os.Stdout, 1, rows)
+		return nil
+	})
+	run("fig10b", func() error {
+		rows, err := experiments.Fig10(2, f10l2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig10(os.Stdout, 2, rows)
+		var csv [][]string
+		for _, r := range rows {
+			csv = append(csv, []string{r.Strategy, fmt.Sprint(r.Capacity),
+				fmt.Sprint(r.Latency), fmt.Sprint(r.Area), fmt.Sprintf("%.6g", r.Volume),
+				fmt.Sprint(r.Reuse)})
+		}
+		writeCSV("fig10_level2.csv", []string{"strategy", "capacity", "latency", "area", "volume", "reuse"}, csv)
+		return nil
+	})
+	run("table1", func() error {
+		t, err := experiments.Table1(t1l1, t1l2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable1(os.Stdout, t)
+		return nil
+	})
+
+	// Extension artifacts (§IX future work and §III related work); run
+	// with `paperbench ext` or by individual name.
+	extRun := func(name string, fn func() error) {
+		if !all && !want[name] && !want["ext"] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	styleLevel, styleK := 2, 4
+	yieldKs := []int{2, 4, 6}
+	yieldTrials := 20000
+	if *quick {
+		styleLevel, styleK = 1, 4
+		yieldKs = []int{2, 4}
+		yieldTrials = 3000
+	}
+	extRun("ext-styles", func() error {
+		rows, err := experiments.StylesExperiment(styleK, styleLevel, []int{3, 5, 7, 11, 15, 21}, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteStyles(os.Stdout, styleK, styleLevel, rows)
+		var csv [][]string
+		for _, r := range rows {
+			csv = append(csv, []string{r.Style, fmt.Sprint(r.Distance),
+				fmt.Sprint(r.Latency), fmt.Sprint(r.Stalls), fmt.Sprintf("%.6g", r.Volume)})
+		}
+		writeCSV("ext_styles.csv", []string{"style", "distance", "latency", "stalls", "volume"}, csv)
+		fmt.Println()
+		cross, err := experiments.StylesByStrategy(4, 7, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteStylesByStrategy(os.Stdout, 4, 7, cross)
+		return nil
+	})
+	extRun("ext-area", func() error {
+		rows, err := experiments.AreaExpansion(4, styleLevel, []float64{1, 1.25, 1.5, 2, 3}, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAreaExpansion(os.Stdout, 4, styleLevel, rows)
+		var csv [][]string
+		for _, r := range rows {
+			csv = append(csv, []string{fmt.Sprintf("%.2f", r.Factor),
+				fmt.Sprint(r.Latency), fmt.Sprint(r.Stalls),
+				fmt.Sprint(r.HullArea), fmt.Sprintf("%.6g", r.HullVolume)})
+		}
+		writeCSV("ext_area.csv", []string{"factor", "latency", "stalls", "hull_area", "hull_volume"}, csv)
+		return nil
+	})
+	extRun("ext-protocols", func() error {
+		rows := experiments.ProtocolComparison(1e-3, 1e-10)
+		experiments.WriteProtocols(os.Stdout, 1e-3, 1e-10, rows)
+		return nil
+	})
+	extRun("ext-yield", func() error {
+		rows, err := experiments.Yield(yieldKs, 2, yieldTrials, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteYield(os.Stdout, 2, yieldTrials, rows)
+		var csv [][]string
+		for _, r := range rows {
+			csv = append(csv, []string{fmt.Sprint(r.K), fmt.Sprint(r.Capacity),
+				fmt.Sprintf("%.4f", r.AnalyticFullYield), fmt.Sprintf("%.4f", r.SampledFullYield),
+				fmt.Sprintf("%.3f", r.MeanOutputs), fmt.Sprintf("%.4f", r.ReserveFullYield)})
+		}
+		writeCSV("ext_yield.csv", []string{"k", "capacity", "analytic_full", "sampled_full", "mean_outputs", "reserve_full"}, csv)
+		return nil
+	})
+	extRun("ext-stitchgen", func() error {
+		rows, err := experiments.StitchGeneralization(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteStitchGen(os.Stdout, rows)
+		return nil
+	})
+	extRun("ext-bk15", func() error {
+		rows, err := experiments.BK15Mapping(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBK15(os.Stdout, rows)
+		return nil
+	})
+	extRun("ext-l3", func() error {
+		rows, err := experiments.ThreeLevel(2, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteThreeLevel(os.Stdout, 2, rows)
+		return nil
+	})
+	extRun("ext-sched", func() error {
+		caps := []int{4, 16, 36}
+		if *quick {
+			caps = []int{4, 16}
+		}
+		rows, err := experiments.SchedReorder(2, caps, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteSchedReorder(os.Stdout, 2, rows)
+		return nil
+	})
+}

@@ -1,0 +1,48 @@
+package magicstate_test
+
+import (
+	"fmt"
+
+	"magicstate"
+)
+
+// ExampleOptimize builds and maps a small two-level factory with
+// hierarchical stitching and prints its simulated cost.
+func ExampleOptimize() {
+	res, err := magicstate.Optimize(
+		magicstate.FactorySpec{Capacity: 4, Levels: 2, Reuse: true},
+		magicstate.Options{Seed: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Strategy, res.Area)
+	// Output: HS 322
+}
+
+// ExampleEstimateResources reports the physical provisioning of a factory
+// under the balanced-investment error model.
+func ExampleEstimateResources() {
+	est, err := magicstate.EstimateResources(
+		magicstate.FactorySpec{Capacity: 4, Levels: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(est.RoundDistances)
+	// Output: [11 17]
+}
+
+// ExamplePlanProvision sizes a factory farm for a billion-T-gate
+// application consuming one T state every 50 cycles.
+func ExamplePlanProvision() {
+	prov, err := magicstate.PlanProvision(magicstate.Application{
+		TCount:         1e9,
+		ErrorBudget:    0.01,
+		TGatesPerCycle: 0.02,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prov.K, prov.Levels, prov.Factories >= 1)
+	// Output: 1 3 true
+}

@@ -1,0 +1,58 @@
+// Factoryfarm: size a farm of stitched factories against an application's
+// T-gate demand and study how a prepared-state buffer (§IX of the paper)
+// smooths distillation failures into a steady supply.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magicstate"
+	"magicstate/internal/system"
+)
+
+func main() {
+	spec := magicstate.FactorySpec{Capacity: 16, Levels: 2, Reuse: true}
+	opt, err := magicstate.Optimize(spec, magicstate.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := magicstate.EstimateResources(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := system.Config{
+		FactoryLatency: opt.Latency,
+		BatchSize:      spec.Capacity,
+		SuccessProb:    1 / est.ExpectedRunsPerBatch,
+		DemandRate:     0.02, // application requests ~1 T state per 50 cycles
+		Cycles:         400_000,
+		Seed:           1,
+	}
+	cfg.Factories = system.FactoriesFor(cfg, 1.25)
+	fmt.Printf("factory: latency %d cycles, batch %d, success probability %.3f\n",
+		cfg.FactoryLatency, cfg.BatchSize, cfg.SuccessProb)
+	fmt.Printf("demand %.3f states/cycle -> %d factories (25%% headroom)\n\n",
+		cfg.DemandRate, cfg.Factories)
+
+	fmt.Println("buffer sweep (no loss compensation):")
+	pts, err := system.BufferSweep(cfg, []int{1, 4, 16, 64, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  buffer %4d: stall fraction %6.3f%%  avg occupancy %7.1f\n",
+			p.BufferSize, 100*p.StallFraction, p.AvgOccupancy)
+	}
+
+	cfg.BufferSize = 64
+	cfg.MaintenanceReserve = 2 * cfg.BatchSize
+	r, err := system.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a %d-state maintenance reserve (loss compensation, §IX):\n", cfg.MaintenanceReserve)
+	fmt.Printf("  %d failed batches, %d compensated, stall fraction %.3f%%\n",
+		r.FailedBatches, r.CompensatedBatches, 100*r.StallFraction())
+}

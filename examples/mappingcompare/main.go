@@ -1,0 +1,35 @@
+// Mappingcompare: run every mapping strategy of the paper on the same
+// two-level factory and print the Table-I-style comparison, including the
+// theoretical lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"magicstate"
+)
+
+func main() {
+	spec := magicstate.FactorySpec{Capacity: 16, Levels: 2, Reuse: true}
+	strategies := []magicstate.Strategy{
+		magicstate.RandomMapping,
+		magicstate.LinearMapping,
+		magicstate.ForceDirected,
+		magicstate.GraphPartitioning,
+		magicstate.HierarchicalStitching,
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tlatency\tarea\tvolume\tvs lower bound")
+	for _, s := range strategies {
+		res, err := magicstate.Optimize(spec, magicstate.Options{Seed: 1}.WithStrategy(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4g\t%.2fx\n",
+			res.Strategy, res.Latency, res.Area, res.Volume, res.Volume/res.CriticalVolume)
+	}
+	tw.Flush()
+}

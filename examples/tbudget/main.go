@@ -1,0 +1,56 @@
+// Tbudget: provision magic-state factories for a realistic workload. The
+// paper's motivation (§II.D) estimates the Fe2S2 ground-state algorithm
+// at ~1e12 T gates; this example sizes a stitched two-level factory,
+// derates its throughput by the distillation success probability, and
+// reports how many factory-copies and how much wall-clock a surface-code
+// machine needs to feed the algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magicstate"
+)
+
+func main() {
+	const (
+		totalTGates    = 1e12 // Fe2S2 estimate from §II.D
+		cycleSeconds   = 1e-6 // one surface-code cycle at ~1 MHz
+		targetWallDays = 30.0 // provisioning target
+	)
+
+	spec := magicstate.FactorySpec{Capacity: 16, Levels: 2, Reuse: true}
+	res, err := magicstate.Optimize(spec, magicstate.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := magicstate.EstimateResources(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	statesPerRun := float64(spec.Capacity)
+	effRunLatency := float64(res.Latency) * est.ExpectedRunsPerBatch
+	statesPerCycle := statesPerRun / effRunLatency
+	cyclesNeeded := totalTGates / statesPerCycle
+	wallSecondsOneFactory := cyclesNeeded * cycleSeconds
+	wallDaysOneFactory := wallSecondsOneFactory / 86400
+	factories := int(wallDaysOneFactory/targetWallDays) + 1
+
+	var phys int
+	for _, q := range est.PhysicalQubitsPerRound {
+		phys += q
+	}
+
+	fmt.Printf("workload: %.0g T gates (Fe2S2 ground-state estimate, §II.D)\n", totalTGates)
+	fmt.Printf("factory: capacity %d, %d levels, %s mapping\n", spec.Capacity, spec.Levels, res.Strategy)
+	fmt.Printf("  run latency %d cycles, success derating %.2fx\n", res.Latency, est.ExpectedRunsPerBatch)
+	fmt.Printf("  output error %.3g per state\n", est.OutputError)
+	fmt.Printf("  physical qubits per factory: %d (d=%v)\n", phys, est.RoundDistances)
+	fmt.Printf("throughput: %.3g states/cycle per factory\n", statesPerCycle)
+	fmt.Printf("one factory: %.1f days of wall clock at %.0f MHz\n",
+		wallDaysOneFactory, 1/cycleSeconds/1e6)
+	fmt.Printf("to finish in %.0f days: %d parallel factories (~%.3g physical qubits)\n",
+		targetWallDays, factories, float64(factories)*float64(phys))
+}

@@ -1,0 +1,75 @@
+// Monte-Carlo yield: sample a two-level factory's stochastic behaviour —
+// syndrome failures (§II.F), O'Gorman-Campbell checkpoint discards [20],
+// and the loss-compensation maintenance reserve of §IX — and compare the
+// sampled full-batch yield against the analytic first-order model the
+// provisioning math in examples/tbudget relies on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/montecarlo"
+	"magicstate/internal/resource"
+)
+
+func main() {
+	p := bravyi.Params{K: 4, Levels: 2, Barriers: true}
+	em := resource.DefaultError()
+	const trials = 50000
+
+	base := montecarlo.Config{Params: p, Errors: em, Trials: trials, Seed: 1}
+	plain, err := montecarlo.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("K=%d two-level factory, %d trials, inject error %.0e\n",
+		p.K, trials, em.InjectError)
+	fmt.Printf("  analytic full-batch yield: %.4f\n", montecarlo.AnalyticFullYield(p, em))
+	fmt.Printf("  sampled  full-batch yield: %.4f\n", plain.FullYieldRate)
+	fmt.Printf("  mean states delivered:     %.2f of %d\n", plain.MeanOutputs, p.Capacity())
+	fmt.Printf("  raw states per delivered:  %.1f (lossless floor %.1f)\n",
+		plain.ExpectedRawPerState, float64(p.Inputs())/float64(p.Capacity()))
+
+	ck := base
+	ck.Checkpoints = true
+	checked, err := montecarlo.Run(ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith checkpoint group discards [20]:\n")
+	fmt.Printf("  mean states delivered:     %.2f\n", checked.MeanOutputs)
+	fmt.Printf("  groups discarded per run:  %.2f\n", checked.MeanGroupsDiscarded)
+
+	fmt.Printf("\nloss compensation (§IX): spare modules per round vs full yield\n")
+	for _, spare := range []int{0, 1, 2, 4} {
+		cfg := base
+		if spare > 0 {
+			cfg.Reserve = []int{spare, spare}
+		}
+		sum, err := montecarlo.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extraQubits := spare * 2 * p.QubitsPerModule()
+		fmt.Printf("  reserve %d: full yield %.4f  (extra footprint ~%d logical qubits)\n",
+			spare, sum.FullYieldRate, extraQubits)
+	}
+
+	// Time-to-target: how long one factory takes to deliver 100 states
+	// (tail percentiles are what a prepared-state buffer must absorb).
+	const batchLatency = 1310 // simulated HS latency of this factory
+	tt, err := montecarlo.TimeToStates(montecarlo.Config{
+		Params: p, Errors: em, Trials: 5000, Seed: 2,
+	}, 100, batchLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntime to 100 distilled states at %d cycles/batch:\n", batchLatency)
+	fmt.Printf("  mean %.0f cycles (%.1f batches), p50 %d, p90 %d, p99 %d\n",
+		tt.MeanCycles, tt.MeanBatches, tt.P50, tt.P90, tt.P99)
+	lossless := (100 + p.Capacity() - 1) / p.Capacity()
+	fmt.Printf("  lossless floor: %d batches — failures cost %.1fx\n",
+		lossless, tt.MeanBatches/float64(lossless))
+}

@@ -1,0 +1,88 @@
+package bravyi
+
+import (
+	"fmt"
+
+	"magicstate/internal/circuit"
+)
+
+// ApplyHops rewrites the factory circuit so that each wire in hops routes
+// through an intermediate destination (Valiant-style two-phase routing,
+// §VII.B.3): the single Move(src, slot) becomes Move(src, hop) followed by
+// Move(hop, slot). Keys are indices into f.Wires; values are the hop
+// qubits, which must already exist in the circuit and must not be live at
+// permutation time (the stitcher reuses dead raw/ancilla qubits so hops
+// add no tiles). All stored gate indices (module ranges, round ranges,
+// raw consumers, wire gates) are remapped. A wire's GateIdx points at the
+// first of the two moves, so port reassignment keeps working after hops
+// are applied.
+func ApplyHops(f *Factory, hops map[int]circuit.Qubit) error {
+	if len(hops) == 0 {
+		return nil
+	}
+	hopOfGate := make(map[int]circuit.Qubit, len(hops))
+	for wi, hq := range hops {
+		if wi < 0 || wi >= len(f.Wires) {
+			return fmt.Errorf("bravyi: hop wire %d out of range", wi)
+		}
+		if int(hq) < 0 || int(hq) >= f.Circuit.NumQubits {
+			return fmt.Errorf("bravyi: hop qubit %d out of range", hq)
+		}
+		gi := f.Wires[wi].GateIdx
+		if f.Circuit.Gates[gi].Kind != circuit.KindMove {
+			return fmt.Errorf("bravyi: wire %d gate is %v, not a move", wi, f.Circuit.Gates[gi].Kind)
+		}
+		if prev, dup := hopOfGate[gi]; dup {
+			return fmt.Errorf("bravyi: gate %d hopped twice (%d, %d)", gi, prev, hq)
+		}
+		hopOfGate[gi] = hq
+	}
+
+	old := f.Circuit.Gates
+	// insBefore[i] = number of gates inserted before old index i.
+	insBefore := make([]int, len(old)+1)
+	newGates := make([]circuit.Gate, 0, len(old)+len(hops))
+	for i := range old {
+		insBefore[i] = len(newGates) - i
+		g := old[i]
+		if hq, hop := hopOfGate[i]; hop {
+			first := g // Move(src, hop)
+			first.Targets = []circuit.Qubit{hq}
+			first.Dest = hq
+			second := g // Move(hop, slot)
+			second.Control = hq
+			second.Targets = append([]circuit.Qubit(nil), g.Targets...)
+			newGates = append(newGates, first, second)
+			continue
+		}
+		newGates = append(newGates, g)
+	}
+	insBefore[len(old)] = len(newGates) - len(old)
+	remap := func(i int) int { return i + insBefore[i] }
+
+	f.Circuit.Gates = newGates
+	for mi := range f.Modules {
+		m := &f.Modules[mi]
+		m.GateStart = remap(m.GateStart)
+		m.GateEnd = remap(m.GateEnd)
+		for s := range m.RawConsumer {
+			if m.RawConsumer[s] >= 0 {
+				m.RawConsumer[s] = remap(m.RawConsumer[s])
+			}
+		}
+	}
+	for ri := range f.Rounds {
+		r := &f.Rounds[ri]
+		r.GateStart = remap(r.GateStart)
+		r.GateEnd = remap(r.GateEnd)
+		r.PermStart = remap(r.PermStart)
+		r.PermEnd = remap(r.PermEnd)
+	}
+	for wi := range f.Wires {
+		f.Wires[wi].GateIdx = remap(f.Wires[wi].GateIdx)
+	}
+	if err := f.Circuit.Validate(); err != nil {
+		return fmt.Errorf("bravyi: circuit invalid after hops: %w", err)
+	}
+	return nil
+}

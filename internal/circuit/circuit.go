@@ -1,0 +1,214 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered sequence of gates over NumQubits logical qubits.
+// The sequence order defines program order; dependencies derive from
+// shared operands (see Deps).
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+	Names     []string // optional per-qubit debug names; empty or len == NumQubits
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int) *Circuit { return &Circuit{NumQubits: n} }
+
+// AddQubit appends a fresh qubit with an optional name and returns its id.
+func (c *Circuit) AddQubit(name string) Qubit {
+	q := Qubit(c.NumQubits)
+	c.NumQubits++
+	if name != "" || len(c.Names) > 0 {
+		for len(c.Names) < c.NumQubits-1 {
+			c.Names = append(c.Names, "")
+		}
+		c.Names = append(c.Names, name)
+	}
+	return q
+}
+
+// Name returns the debug name of q, or "q<i>" when unnamed.
+func (c *Circuit) Name(q Qubit) string {
+	if int(q) < len(c.Names) && c.Names[q] != "" {
+		return c.Names[q]
+	}
+	return fmt.Sprintf("q%d", q)
+}
+
+// Append adds a gate to the end of the program.
+func (c *Circuit) Append(g Gate) { c.Gates = append(c.Gates, g) }
+
+// H appends a Hadamard on q.
+func (c *Circuit) H(q Qubit) { c.Append(Gate{Kind: KindH, Control: NoQubit, Targets: []Qubit{q}}) }
+
+// PrepZ appends a |0> preparation on q.
+func (c *Circuit) PrepZ(q Qubit) {
+	c.Append(Gate{Kind: KindPrepZ, Control: NoQubit, Targets: []Qubit{q}})
+}
+
+// PrepX appends a |+> preparation on q.
+func (c *Circuit) PrepX(q Qubit) {
+	c.Append(Gate{Kind: KindPrepX, Control: NoQubit, Targets: []Qubit{q}})
+}
+
+// T appends a T rotation on q (consumes a magic state when fault
+// tolerant; T and T-dagger share a cost and interaction profile, so the
+// IR does not distinguish them).
+func (c *Circuit) T(q Qubit) { c.Append(Gate{Kind: KindT, Control: NoQubit, Targets: []Qubit{q}}) }
+
+// S appends a phase gate on q (decomposes into two T gates, §II.E).
+func (c *Circuit) S(q Qubit) { c.Append(Gate{Kind: KindS, Control: NoQubit, Targets: []Qubit{q}}) }
+
+// X appends a Pauli X on q.
+func (c *Circuit) X(q Qubit) { c.Append(Gate{Kind: KindX, Control: NoQubit, Targets: []Qubit{q}}) }
+
+// Z appends a Pauli Z on q.
+func (c *Circuit) Z(q Qubit) { c.Append(Gate{Kind: KindZ, Control: NoQubit, Targets: []Qubit{q}}) }
+
+// MeasZ appends a Z-basis measurement of q.
+func (c *Circuit) MeasZ(q Qubit) {
+	c.Append(Gate{Kind: KindMeasZ, Control: NoQubit, Targets: []Qubit{q}})
+}
+
+// CNOT appends a controlled-NOT with the given control and target.
+func (c *Circuit) CNOT(ctrl, tgt Qubit) {
+	c.Append(Gate{Kind: KindCNOT, Control: ctrl, Targets: []Qubit{tgt}})
+}
+
+// CXX appends a single-control multi-target CNOT.
+func (c *Circuit) CXX(ctrl Qubit, tgts []Qubit) {
+	ts := make([]Qubit, len(tgts))
+	copy(ts, tgts)
+	c.Append(Gate{Kind: KindCXX, Control: ctrl, Targets: ts})
+}
+
+// InjectT appends a T-state injection into data. raw is the source qubit
+// carrying the state, or NoQubit for an ambient (freshly prepared) state.
+func (c *Circuit) InjectT(raw, data Qubit) {
+	c.Append(Gate{Kind: KindInjectT, Control: raw, Targets: []Qubit{data}})
+}
+
+// InjectTdag appends an adjoint T-state injection.
+func (c *Circuit) InjectTdag(raw, data Qubit) {
+	c.Append(Gate{Kind: KindInjectTdag, Control: raw, Targets: []Qubit{data}})
+}
+
+// MeasX appends an X-basis measurement of q.
+func (c *Circuit) MeasX(q Qubit) {
+	c.Append(Gate{Kind: KindMeasX, Control: NoQubit, Targets: []Qubit{q}})
+}
+
+// Move appends a state relocation of src into the tile slot identified by
+// dst. dst is itself a qubit id (the slot's identity after the move).
+func (c *Circuit) Move(src, dst Qubit) {
+	c.Append(Gate{Kind: KindMove, Control: src, Targets: []Qubit{dst}, Dest: dst})
+}
+
+// Barrier appends a scheduling fence over qs. Physically this is a
+// multi-target CNOT controlled by an ancilla prepared in |0> (§V.A), which
+// is a no-op on the data but serializes everything across it.
+func (c *Circuit) Barrier(qs []Qubit) {
+	ts := make([]Qubit, len(qs))
+	copy(ts, qs)
+	c.Append(Gate{Kind: KindBarrier, Control: NoQubit, Targets: ts, Module: -1})
+}
+
+// Validate checks structural well-formedness: operand ids in range, gate
+// arity constraints, and no duplicate operands within a gate.
+func (c *Circuit) Validate() error {
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Kind == KindInvalid {
+			return fmt.Errorf("gate %d: invalid kind", i)
+		}
+		if g.Kind != KindBarrier && len(g.Targets) == 0 {
+			return fmt.Errorf("gate %d (%s): no targets", i, g.Kind)
+		}
+		switch g.Kind {
+		case KindCNOT:
+			if g.Control == NoQubit || len(g.Targets) != 1 {
+				return fmt.Errorf("gate %d: cnot needs control and exactly one target", i)
+			}
+		case KindCXX:
+			if g.Control == NoQubit || len(g.Targets) < 1 {
+				return fmt.Errorf("gate %d: cxx needs control and targets", i)
+			}
+		case KindInjectT, KindInjectTdag:
+			if len(g.Targets) != 1 {
+				return fmt.Errorf("gate %d: inject needs exactly one data target", i)
+			}
+		case KindMove:
+			if g.Control == NoQubit || g.Dest == NoQubit {
+				return fmt.Errorf("gate %d: move needs source and destination", i)
+			}
+			if len(g.Targets) != 1 || g.Targets[0] != g.Dest {
+				return fmt.Errorf("gate %d: move target must mirror its destination", i)
+			}
+		}
+		seen := make(map[Qubit]bool, len(g.Targets)+2)
+		for _, q := range g.Operands() {
+			if q < 0 || int(q) >= c.NumQubits {
+				return fmt.Errorf("gate %d (%s): qubit %d out of range [0,%d)", i, g.Kind, q, c.NumQubits)
+			}
+			if seen[q] {
+				return fmt.Errorf("gate %d (%s): duplicate operand q%d", i, g.Kind, q)
+			}
+			seen[q] = true
+		}
+	}
+	return nil
+}
+
+// CountKind returns how many gates of kind k the circuit contains.
+func (c *Circuit) CountKind(k Kind) int {
+	n := 0
+	for i := range c.Gates {
+		if c.Gates[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoQubitGateCount returns the number of braid-requiring gates.
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for i := range c.Gates {
+		if c.Gates[i].Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{NumQubits: c.NumQubits}
+	out.Gates = make([]Gate, len(c.Gates))
+	for i := range c.Gates {
+		g := c.Gates[i]
+		g.Targets = append([]Qubit(nil), g.Targets...)
+		out.Gates[i] = g
+	}
+	out.Names = append([]string(nil), c.Names...)
+	return out
+}
+
+// String renders the program, one gate per line, for debugging and golden
+// tests.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %d qubits, %d gates\n", c.NumQubits, len(c.Gates))
+	for i := range c.Gates {
+		b.WriteString(c.Gates[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrEmpty is returned by analyses that need at least one gate.
+var ErrEmpty = errors.New("circuit: empty circuit")

@@ -1,0 +1,87 @@
+package circuit
+
+// DAG is the data-dependency graph of a circuit: Succ[i] lists gates that
+// directly depend on gate i, Pred counts are available via InDegree. The
+// hazard rule follows the paper's simulator (§VIII.A): the presence of the
+// same qubit in two instructions makes the later one depend on the earlier,
+// with no commutativity analysis.
+type DAG struct {
+	NumGates int
+	Succ     [][]int
+	preds    []int
+}
+
+// Deps builds the dependency DAG of c. Each gate depends on the most
+// recent earlier gate touching each of its operands (one edge per operand
+// chain, deduplicated).
+func Deps(c *Circuit) *DAG {
+	d := &DAG{NumGates: len(c.Gates)}
+	d.Succ = make([][]int, len(c.Gates))
+	d.preds = make([]int, len(c.Gates))
+	last := make([]int, c.NumQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	for i := range c.Gates {
+		seen := make(map[int]bool)
+		for _, q := range c.Gates[i].Operands() {
+			if p := last[q]; p >= 0 && p != i && !seen[p] {
+				d.Succ[p] = append(d.Succ[p], i)
+				d.preds[i]++
+				seen[p] = true
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// InDegree returns the number of direct dependencies of gate i.
+func (d *DAG) InDegree(i int) int { return d.preds[i] }
+
+// Topo returns a topological order of gate indices. Program order is
+// already topological under the hazard rule, so this simply verifies and
+// returns 0..n-1; it exists to make the invariant checkable.
+func (d *DAG) Topo() []int {
+	order := make([]int, d.NumGates)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Levels returns the ASAP level of each gate: level 0 gates have no
+// dependencies; otherwise level = 1 + max(level of preds). Gates on the
+// same level could execute concurrently given unlimited routing.
+func (d *DAG) Levels() []int {
+	lvl := make([]int, d.NumGates)
+	for i := 0; i < d.NumGates; i++ {
+		for _, s := range d.Succ[i] {
+			if lvl[i]+1 > lvl[s] {
+				lvl[s] = lvl[i] + 1
+			}
+		}
+	}
+	return lvl
+}
+
+// LongestPath returns, for a per-gate weight function, the weight of the
+// heaviest dependency chain in the DAG (the critical path). This is the
+// paper's "theoretical lower bound" latency when weights are gate cycle
+// counts.
+func (d *DAG) LongestPath(weight func(i int) float64) float64 {
+	finish := make([]float64, d.NumGates)
+	var best float64
+	for i := 0; i < d.NumGates; i++ {
+		finish[i] += weight(i)
+		if finish[i] > best {
+			best = finish[i]
+		}
+		for _, s := range d.Succ[i] {
+			if finish[i] > finish[s] {
+				finish[s] = finish[i]
+			}
+		}
+	}
+	return best
+}

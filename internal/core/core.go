@@ -1,0 +1,221 @@
+// Package core wires the whole toolchain together following the flow
+// chart of Fig. 3: generate the block-code factory, map it with one of
+// the paper's strategies (random, linear, force-directed annealing,
+// recursive graph partitioning, hierarchical stitching), execute the
+// mapped circuit on the cycle-accurate braid mesh, and report latency,
+// area, space-time volume and the theoretical lower bound.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/force"
+	"magicstate/internal/graph"
+	"magicstate/internal/layout"
+	"magicstate/internal/mesh"
+	"magicstate/internal/resource"
+	"magicstate/internal/stitch"
+)
+
+// Strategy selects a mapping procedure.
+type Strategy int
+
+const (
+	// StrategyRandom places qubits uniformly at random (Table I "Random").
+	StrategyRandom Strategy = iota
+	// StrategyLinear is the hand-optimized linear mapping of Fowler et
+	// al. [19] ("Line").
+	StrategyLinear
+	// StrategyForceDirected anneals the linear mapping with the dipole /
+	// repulsion / attraction forces of §VI.B.1 ("FD").
+	StrategyForceDirected
+	// StrategyGraphPartition embeds the global interaction graph by
+	// recursive bisection (§VI.B.2, "GP").
+	StrategyGraphPartition
+	// StrategyStitch is hierarchical stitching (§VII, "HS").
+	StrategyStitch
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyRandom:         "Random",
+	StrategyLinear:         "Line",
+	StrategyForceDirected:  "FD",
+	StrategyGraphPartition: "GP",
+	StrategyStitch:         "HS",
+}
+
+// String returns the Table I row label for the strategy.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Config describes one factory optimization run.
+type Config struct {
+	// K and Levels define the Bravyi-Haah block code; see bravyi.Params.
+	K, Levels int
+	// Reuse enables sharing-after-measurement qubit reuse (§V.B).
+	Reuse bool
+	// Barriers inserts the inter-round fences of §V.A (default on; set
+	// NoBarriers to drop them for the scheduling ablation).
+	NoBarriers bool
+	// Strategy picks the mapper.
+	Strategy Strategy
+	// Seed drives every randomized component.
+	Seed int64
+	// Cost overrides the gate cost model (zero value = defaults).
+	Cost resource.CostModel
+	// Mesh overrides simulator knobs other than Cost.
+	MeshMode    mesh.RouteMode
+	RouteMargin int
+	// Style selects the surface-code interaction discipline (§IX); the
+	// zero value is the paper's braiding model. Distance feeds the
+	// distance-sensitive styles (zero means 7).
+	Style    mesh.InteractionStyle
+	Distance int
+	// RecordPaths keeps braid paths in the simulation result so callers
+	// can audit overlaps or draw congestion maps.
+	RecordPaths bool
+	// FD carries force-directed overrides (Iterations etc.).
+	FD force.Options
+	// Stitch carries hierarchical stitching overrides; Reuse and Seed are
+	// taken from this Config.
+	Stitch stitch.Options
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Config   Config
+	Strategy string
+	// Latency, Area and Volume are the simulated cost of the mapped
+	// factory (Volume = Latency x Area, the paper's quantum volume).
+	Latency int
+	Area    int
+	Volume  float64
+	// CriticalLatency and CriticalVolume are the dependency-limited lower
+	// bounds (Fig. 7's "theoretical lower bound", Table I "Critical").
+	CriticalLatency int
+	CriticalVolume  float64
+	// PermLatency is the round-2 permutation window for multi-level runs.
+	PermLatency int
+	// Stalls counts rejected braid attempts (congestion diagnostic).
+	Stalls int
+
+	Factory   *bravyi.Factory
+	Placement *layout.Placement
+	Sim       *mesh.Result
+}
+
+// Run executes the full pipeline for cfg.
+func Run(cfg Config) (*Report, error) {
+	params := bravyi.Params{K: cfg.K, Levels: cfg.Levels, Reuse: cfg.Reuse, Barriers: !cfg.NoBarriers}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	cm := cfg.Cost
+	if cm == (resource.CostModel{}) {
+		cm = resource.DefaultCost()
+	}
+	mcfg := mesh.Config{
+		Cost: cm, Mode: cfg.MeshMode, RouteMargin: cfg.RouteMargin,
+		Style: cfg.Style, Distance: cfg.Distance, RecordPaths: cfg.RecordPaths,
+	}
+
+	var f *bravyi.Factory
+	var pl *layout.Placement
+	switch cfg.Strategy {
+	case StrategyStitch:
+		sopt := cfg.Stitch
+		sopt.Seed = cfg.Seed
+		sopt.Reuse = cfg.Reuse
+		sopt.NoBarriers = cfg.NoBarriers
+		res, err := stitch.Build(params, sopt)
+		if err != nil {
+			return nil, err
+		}
+		f, pl = res.Factory, res.Placement
+	default:
+		var err error
+		f, err = bravyi.Build(params)
+		if err != nil {
+			return nil, err
+		}
+		pl, err = place(cfg, f, mcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sim, err := mesh.Simulate(f.Circuit, pl, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Config:          cfg,
+		Strategy:        cfg.Strategy.String(),
+		Latency:         sim.Latency,
+		Area:            sim.Area,
+		Volume:          float64(sim.Latency) * float64(sim.Area),
+		CriticalLatency: cm.CriticalPath(f.Circuit),
+		Stalls:          sim.Stalls,
+		Factory:         f,
+		Placement:       pl,
+		Sim:             sim,
+	}
+	rep.CriticalVolume = float64(rep.CriticalLatency) * float64(rep.Area)
+	if cfg.Levels >= 2 {
+		if perm, err := stitch.PermutationLatency(f, sim.Start, sim.End, 2); err == nil {
+			rep.PermLatency = perm
+		}
+	}
+	return rep, nil
+}
+
+// place maps the factory under every non-stitching strategy.
+func place(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement, error) {
+	switch cfg.Strategy {
+	case StrategyRandom:
+		return layout.Random(f.Circuit.NumQubits, rand.New(rand.NewSource(cfg.Seed))), nil
+	case StrategyLinear:
+		return layout.Linear(f), nil
+	case StrategyForceDirected:
+		g := graph.FromCircuit(f.Circuit)
+		init := layout.Linear(f)
+		opt := cfg.FD
+		opt.Seed = cfg.Seed
+		annealed := force.Anneal(g, f.Circuit, init, opt)
+		// The annealer optimizes metric proxies; keep whichever of the
+		// initial and annealed mappings actually executes faster (the
+		// toolchain evaluates candidates in simulation, §VIII.A).
+		ri, err1 := mesh.Simulate(f.Circuit, init, mcfg)
+		ra, err2 := mesh.Simulate(f.Circuit, annealed, mcfg)
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+		if ra.Volume().SpaceTime() <= ri.Volume().SpaceTime() {
+			return annealed, nil
+		}
+		return init, nil
+	case StrategyGraphPartition:
+		g := graph.FromCircuit(f.Circuit)
+		return partitionEmbed(g, cfg.Seed), nil
+	}
+	return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+}
+
+// Strategies lists every mapping strategy applicable to the given level
+// count (hierarchical stitching needs the multi-level structure).
+func Strategies(levels int) []Strategy {
+	ss := []Strategy{StrategyRandom, StrategyLinear, StrategyForceDirected, StrategyGraphPartition}
+	if levels >= 2 {
+		ss = append(ss, StrategyStitch)
+	}
+	return ss
+}

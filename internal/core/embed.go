@@ -1,0 +1,15 @@
+package core
+
+import (
+	"math/rand"
+
+	"magicstate/internal/graph"
+	"magicstate/internal/layout"
+	"magicstate/internal/partition"
+)
+
+// partitionEmbed performs the global recursive-bisection grid embedding
+// used by the GP strategy.
+func partitionEmbed(g *graph.Graph, seed int64) *layout.Placement {
+	return partition.EmbedSquare(g, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/graph"
+	"magicstate/internal/mesh"
+	"magicstate/internal/partition"
+)
+
+// AreaExpRow is one grid-expansion factor of the §IX area-expansion
+// study: the same factory embedded by recursive graph partitioning into a
+// grid inflated by the factor, trading tiles for routing slack.
+type AreaExpRow struct {
+	Factor   float64
+	W, H     int
+	Latency  int
+	Stalls   int
+	HullArea int
+	// Volume is occupied-tile area × latency (the paper's metric: extra
+	// empty tiles do not count as consumed qubits)…
+	Volume float64
+	// HullVolume charges the whole inflated hull, the honest cost when
+	// the region is dedicated to the factory.
+	HullVolume float64
+}
+
+// AreaExpansion sweeps grid inflation factors for a level-`level` factory
+// under the GP embedding. The paper's future-work hypothesis (§IX) is
+// that extra area reduces latency enough to pay for itself in some range;
+// the HullVolume column shows where that stops being true.
+func AreaExpansion(k, level int, factors []float64, seed int64) ([]AreaExpRow, error) {
+	params := bravyi.Params{K: k, Levels: level, Reuse: level >= 2, Barriers: true}
+	f, err := bravyi.Build(params)
+	if err != nil {
+		return nil, fmt.Errorf("areaexp: %w", err)
+	}
+	g := graph.FromCircuit(f.Circuit)
+	n := f.Circuit.NumQubits
+	base := int(math.Ceil(math.Sqrt(float64(n))))
+	var rows []AreaExpRow
+	for _, factor := range factors {
+		if factor < 1 {
+			return nil, fmt.Errorf("areaexp: factor %g below 1", factor)
+		}
+		side := int(math.Ceil(float64(base) * math.Sqrt(factor)))
+		pl := partition.Embed(g, side, side, rand.New(rand.NewSource(seed)))
+		res, err := mesh.Simulate(f.Circuit, pl, mesh.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("areaexp factor %g: %w", factor, err)
+		}
+		rows = append(rows, AreaExpRow{
+			Factor:     factor,
+			W:          side,
+			H:          side,
+			Latency:    res.Latency,
+			Stalls:     res.Stalls,
+			HullArea:   pl.HullArea(),
+			Volume:     res.Volume().SpaceTime(),
+			HullVolume: float64(pl.HullArea()) * float64(res.Latency),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAreaExpansion renders the expansion sweep.
+func WriteAreaExpansion(w io.Writer, k, level int, rows []AreaExpRow) {
+	fmt.Fprintf(w, "Area expansion (§IX) — K=%d level-%d factory, GP embedding on inflated grids\n", k, level)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "factor\tgrid\tlatency\tstalls\thull area\tvolume\thull volume")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%dx%d\t%d\t%d\t%d\t%.3g\t%.3g\n",
+			r.Factor, r.W, r.H, r.Latency, r.Stalls, r.HullArea, r.Volume, r.HullVolume)
+	}
+	tw.Flush()
+}

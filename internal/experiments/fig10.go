@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"magicstate/internal/core"
+)
+
+// Fig10Row is one (strategy, capacity) cell of Fig. 10: simulated
+// latency, area and space-time volume. For multi-level factories each
+// strategy is run under both reuse policies and the better volume is
+// kept, mirroring the paper's "final results plots show these
+// configurations" (§VIII.C.2); Reuse records the winning policy.
+type Fig10Row struct {
+	Strategy string
+	Capacity int
+	Latency  int
+	Area     int
+	Volume   float64
+	Reuse    bool
+}
+
+// Fig10 reproduces Fig. 10a/b/e (level 1) or 10c/d/f (level 2).
+func Fig10(level int, capacities []int, seed int64) ([]Fig10Row, error) {
+	strategies := []core.Strategy{core.StrategyLinear, core.StrategyForceDirected, core.StrategyGraphPartition}
+	if level >= 2 {
+		strategies = append(strategies, core.StrategyStitch)
+	}
+	var rows []Fig10Row
+	for _, cap := range capacities {
+		for _, s := range strategies {
+			best, err := bestReuse(cap, level, s, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 cap %d %v: %w", cap, s, err)
+			}
+			rows = append(rows, *best)
+		}
+	}
+	return rows, nil
+}
+
+// bestReuse runs strategy s under both reuse policies (multi-level) and
+// returns the lower-volume configuration; single-level factories have no
+// reuse dimension.
+func bestReuse(capacity, level int, s core.Strategy, seed int64) (*Fig10Row, error) {
+	toRow := func(rep *core.Report, reuse bool) *Fig10Row {
+		return &Fig10Row{
+			Strategy: s.String(), Capacity: capacity,
+			Latency: rep.Latency, Area: rep.Area, Volume: rep.Volume, Reuse: reuse,
+		}
+	}
+	if level == 1 {
+		rep, err := runCapacity(capacity, level, s, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		return toRow(rep, false), nil
+	}
+	nr, err := runCapacity(capacity, level, s, false, seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := runCapacity(capacity, level, s, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	if r.Volume <= nr.Volume {
+		return toRow(r, true), nil
+	}
+	return toRow(nr, false), nil
+}

@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VIII). Each function returns structured rows; the
+// Format helpers render them as text tables, and cmd/paperbench drives
+// them from the command line. All experiments are deterministic per seed.
+package experiments
+
+import (
+	"fmt"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/force"
+	"magicstate/internal/graph"
+	"magicstate/internal/layout"
+	"magicstate/internal/mesh"
+	"magicstate/internal/stats"
+)
+
+// Fig6Point is one randomized mapping sample: the three congestion
+// metrics of §VI.A plus the simulated latency.
+type Fig6Point struct {
+	Crossings    int
+	AvgManhattan float64
+	AvgSpacing   float64
+	Latency      int
+}
+
+// Fig6Result reproduces Fig. 6: the correlation of each congestion metric
+// with simulated circuit latency over randomized mappings of a
+// single-level factory.
+type Fig6Result struct {
+	K, Samples int
+	// RCrossings, RLength, RSpacing are Pearson r values against latency.
+	// The paper reports r = 0.601 / -0.625 / 0.831 panels with positive
+	// correlation for crossings and length and negative for spacing.
+	RCrossings, RLength, RSpacing float64
+	Points                        []Fig6Point
+}
+
+// Fig6 draws `samples` randomized placements of a capacity-k single-level
+// factory on a fixed near-square grid, simulates each, and correlates the
+// metrics with latency. To span the quality range the paper's scatter
+// plots cover, two thirds of the samples are random placements partially
+// improved by a short force-directed pass of varying length; the rest are
+// purely random.
+func Fig6(k, samples int, seed int64) (*Fig6Result, error) {
+	f, err := bravyi.Build(bravyi.Params{K: k, Levels: 1})
+	if err != nil {
+		return nil, err
+	}
+	g := graph.FromCircuit(f.Circuit)
+	n := f.Circuit.NumQubits
+	w, h := layout.GridFor(n, 1)
+	tiles := layout.RowMajorTiles(w*h, w)
+
+	res := &Fig6Result{K: k, Samples: samples}
+	var xs, lens, sps, ys []float64
+	for s := 0; s < samples; s++ {
+		rng := stats.SplitRNG(seed, int64(s))
+		p := layout.RandomOnTiles(n, tiles, w, h, rng)
+		if iters := (s % 3) * (4 + s%5); iters > 0 {
+			p = force.Anneal(g, f.Circuit, p, force.Options{
+				Seed: seed + int64(s), Iterations: iters, MarginRows: 1,
+				DisableCommunity: true, DisableDipole: s%2 == 0,
+			})
+		}
+		sim, err := mesh.Simulate(f.Circuit, p, mesh.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", s, err)
+		}
+		m := layout.Measure(g, p)
+		res.Points = append(res.Points, Fig6Point{
+			Crossings:    m.Crossings,
+			AvgManhattan: m.AvgManhattan,
+			AvgSpacing:   m.AvgSpacing,
+			Latency:      sim.Latency,
+		})
+		xs = append(xs, float64(m.Crossings))
+		lens = append(lens, m.AvgManhattan)
+		sps = append(sps, m.AvgSpacing)
+		ys = append(ys, float64(sim.Latency))
+	}
+	if res.RCrossings, err = stats.Pearson(xs, ys); err != nil {
+		return nil, err
+	}
+	if res.RLength, err = stats.Pearson(lens, ys); err != nil {
+		return nil, err
+	}
+	if res.RSpacing, err = stats.Pearson(sps, ys); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

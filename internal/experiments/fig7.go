@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"magicstate/internal/core"
+)
+
+// Fig7Row is one capacity point of Fig. 7: force-directed and graph
+// partitioning latency against the dependency-limited lower bound.
+type Fig7Row struct {
+	Capacity  int
+	FDLatency int
+	GPLatency int
+	Critical  int
+}
+
+// Fig7 reproduces Fig. 7a (level 1) or 7b (level 2): overall circuit
+// latency attained by FD and GP embeddings versus the theoretical lower
+// bound, as capacity grows.
+func Fig7(level int, capacities []int, seed int64) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, cap := range capacities {
+		row := Fig7Row{Capacity: cap}
+		for _, s := range []core.Strategy{core.StrategyForceDirected, core.StrategyGraphPartition} {
+			rep, err := runCapacity(cap, level, s, level >= 2, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 cap %d %v: %w", cap, s, err)
+			}
+			switch s {
+			case core.StrategyForceDirected:
+				row.FDLatency = rep.Latency
+			case core.StrategyGraphPartition:
+				row.GPLatency = rep.Latency
+			}
+			row.Critical = rep.CriticalLatency
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runCapacity resolves a capacity to protocol parameters and runs one
+// strategy.
+func runCapacity(capacity, level int, s core.Strategy, reuse bool, seed int64) (*core.Report, error) {
+	k, err := kForCapacity(capacity, level)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(core.Config{K: k, Levels: level, Strategy: s, Reuse: reuse, Seed: seed})
+}
+
+func kForCapacity(capacity, level int) (int, error) {
+	switch level {
+	case 1:
+		return capacity, nil
+	case 2:
+		for k := 1; k*k <= capacity; k++ {
+			if k*k == capacity {
+				return k, nil
+			}
+		}
+		return 0, fmt.Errorf("capacity %d is not a perfect square", capacity)
+	}
+	return 0, fmt.Errorf("unsupported level %d", level)
+}

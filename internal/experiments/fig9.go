@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/core"
+	"magicstate/internal/mesh"
+	"magicstate/internal/stitch"
+)
+
+// Fig9ReuseRow is one capacity point of Fig. 9a/9b: the relative volume
+// difference (NR - R) / NR between the no-reuse and reuse protocols for
+// each strategy. Positive values mean reuse wins.
+type Fig9ReuseRow struct {
+	Capacity                 int
+	LineDiff, FDDiff, GPDiff float64
+}
+
+// Fig9Reuse reproduces Fig. 9a/9b on two-level factories.
+func Fig9Reuse(capacities []int, seed int64) ([]Fig9ReuseRow, error) {
+	var rows []Fig9ReuseRow
+	for _, cap := range capacities {
+		row := Fig9ReuseRow{Capacity: cap}
+		for _, s := range []core.Strategy{core.StrategyLinear, core.StrategyForceDirected, core.StrategyGraphPartition} {
+			nr, err := runCapacity(cap, 2, s, false, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 cap %d %v NR: %w", cap, s, err)
+			}
+			r, err := runCapacity(cap, 2, s, true, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 cap %d %v R: %w", cap, s, err)
+			}
+			diff := (nr.Volume - r.Volume) / nr.Volume
+			switch s {
+			case core.StrategyLinear:
+				row.LineDiff = diff
+			case core.StrategyForceDirected:
+				row.FDDiff = diff
+			case core.StrategyGraphPartition:
+				row.GPDiff = diff
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9HopsRow is one capacity point of Fig. 9d: the inter-round
+// permutation-step latency under each hop routing mode, within the
+// hierarchically stitched design.
+type Fig9HopsRow struct {
+	Capacity         int
+	NoHop            int
+	RandomHop        int
+	AnnealedRandom   int
+	AnnealedMidpoint int
+}
+
+// Fig9Hops reproduces Fig. 9c/9d on two-level factories with reuse.
+func Fig9Hops(capacities []int, seed int64) ([]Fig9HopsRow, error) {
+	var rows []Fig9HopsRow
+	for _, cap := range capacities {
+		k, err := kForCapacity(cap, 2)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9HopsRow{Capacity: cap}
+		for _, mode := range []stitch.HopMode{stitch.NoHop, stitch.RandomHop, stitch.AnnealedRandomHop, stitch.AnnealedMidpointHop} {
+			res, err := stitch.Build(bravyi.Params{K: k, Levels: 2, Barriers: true},
+				stitch.Options{Seed: seed, Reuse: true, Hops: mode})
+			if err != nil {
+				return nil, fmt.Errorf("fig9d cap %d %v: %w", cap, mode, err)
+			}
+			sim, err := mesh.Simulate(res.Factory.Circuit, res.Placement, mesh.Config{})
+			if err != nil {
+				return nil, err
+			}
+			perm, err := stitch.PermutationLatency(res.Factory, sim.Start, sim.End, 2)
+			if err != nil {
+				return nil, err
+			}
+			switch mode {
+			case stitch.NoHop:
+				row.NoHop = perm
+			case stitch.RandomHop:
+				row.RandomHop = perm
+			case stitch.AnnealedRandomHop:
+				row.AnnealedRandom = perm
+			case stitch.AnnealedMidpointHop:
+				row.AnnealedMidpoint = perm
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

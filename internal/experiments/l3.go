@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"magicstate/internal/core"
+)
+
+// L3Row is one strategy's cost on a three-level factory — one block-code
+// level beyond the paper's evaluation, where the inter-round permutation
+// overhead compounds twice.
+type L3Row struct {
+	Strategy string
+	Latency  int
+	Area     int
+	Volume   float64
+	Critical int
+}
+
+// ThreeLevel runs every strategy on a K=k three-level factory (capacity
+// k³). The paper's argument predicts the ordering sharpens with depth:
+// the linear mapping pays the permutation overhead twice, so hierarchical
+// stitching's round-local embeddings and hop-routed permutations should
+// win by more than at two levels.
+func ThreeLevel(k int, seed int64) ([]L3Row, error) {
+	var rows []L3Row
+	for _, s := range []core.Strategy{
+		core.StrategyLinear, core.StrategyForceDirected,
+		core.StrategyGraphPartition, core.StrategyStitch,
+	} {
+		rep, err := core.Run(core.Config{K: k, Levels: 3, Reuse: true, Strategy: s, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("l3 %v: %w", s, err)
+		}
+		rows = append(rows, L3Row{
+			Strategy: s.String(),
+			Latency:  rep.Latency,
+			Area:     rep.Area,
+			Volume:   rep.Volume,
+			Critical: rep.CriticalLatency,
+		})
+	}
+	return rows, nil
+}
+
+// WriteThreeLevel renders the three-level comparison.
+func WriteThreeLevel(w io.Writer, k int, rows []L3Row) {
+	capn := k * k * k
+	fmt.Fprintf(w, "Three-level factories (beyond the paper) — K=%d, capacity %d, reuse\n", k, capn)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "strategy\tlatency\tarea\tvolume\tbound")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3g\t%d\n", r.Strategy, r.Latency, r.Area, r.Volume, r.Critical)
+	}
+	tw.Flush()
+	var line, hs float64
+	for _, r := range rows {
+		switch r.Strategy {
+		case "Line":
+			line = r.Volume
+		case "HS":
+			hs = r.Volume
+		}
+	}
+	if hs > 0 {
+		fmt.Fprintf(w, "Line/HS volume ratio: %.2fx\n", line/hs)
+	}
+}

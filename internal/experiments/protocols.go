@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"magicstate/internal/protocols"
+)
+
+// ProtocolRow is one protocol family provisioned for a common target
+// fidelity (the §III related-work comparison).
+type ProtocolRow struct {
+	Name        string
+	Levels      int
+	OutputError float64
+	RawPerOut   float64
+	ExpectedRaw float64
+	SuccessProb float64
+	Qubits      int
+	VolumeProxy float64
+	Err         string
+}
+
+// ProtocolComparison provisions every protocol of the §III zoo for the
+// given injected error rate and target output error, reporting raw-state
+// cost, footprint and a space-time proxy per distilled state.
+func ProtocolComparison(eps, target float64) []ProtocolRow {
+	var rows []ProtocolRow
+	for _, cr := range protocols.Compare(protocols.DefaultCandidates(eps), eps, target, 8) {
+		row := ProtocolRow{Name: cr.Name}
+		if cr.Err != nil {
+			row.Err = cr.Err.Error()
+		} else {
+			row.Levels = cr.Plan.Levels
+			row.OutputError = cr.Plan.OutputError
+			row.RawPerOut = cr.Plan.RawPerOutput
+			row.ExpectedRaw = cr.Plan.ExpectedRawPerOutput
+			row.SuccessProb = cr.Plan.SuccessProbability
+			row.Qubits = cr.Plan.Qubits
+			row.VolumeProxy = cr.Plan.VolumeProxy
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteProtocols renders the protocol comparison.
+func WriteProtocols(w io.Writer, eps, target float64, rows []ProtocolRow) {
+	fmt.Fprintf(w, "Distillation protocol zoo (§III) — eps_in=%.1e, target=%.1e\n", eps, target)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "protocol\tlevels\tout err\traw/out\texp raw/out\tP(success)\tqubits\tvol proxy")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t-\t(%s)\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1e\t%.1f\t%.1f\t%.3f\t%d\t%.3g\n",
+			r.Name, r.Levels, r.OutputError, r.RawPerOut, r.ExpectedRaw,
+			r.SuccessProb, r.Qubits, r.VolumeProxy)
+	}
+	tw.Flush()
+}

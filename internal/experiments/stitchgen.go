@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"magicstate/internal/circuit"
+	"magicstate/internal/circuits"
+	"magicstate/internal/mesh"
+	"magicstate/internal/subdiv"
+)
+
+// StitchGenRow compares a single global GP embedding against windowed
+// subdivision stitching (§IX "stitching generalization") on one workload.
+type StitchGenRow struct {
+	Workload        string
+	Qubits          int
+	GlobalLatency   int
+	StitchedLatency int
+	Moves           int
+	// Gain is Global/Stitched; above 1 means stitching won.
+	Gain float64
+}
+
+// StitchGeneralization runs the comparison over the workload set the
+// study needs: a phase-structured hierarchical circuit (where stitching
+// should win), a strictly local adder and an all-pairs QFT-like circuit
+// (controls where a single good global embedding is already near
+// optimal).
+func StitchGeneralization(seed int64) ([]StitchGenRow, error) {
+	type workload struct {
+		name string
+		c    *circuit.Circuit
+	}
+	base := circuits.HierarchicalOptions{
+		Blocks: 6, QubitsPerBlock: 10, Phases: 5,
+		IntraCNOTs: 40, BridgeCNOTs: 6, Barriers: true, Seed: seed,
+	}
+	static, err := circuits.HierarchicalRandom(base)
+	if err != nil {
+		return nil, err
+	}
+	shuffledOpt := base
+	shuffledOpt.Shuffle = true
+	shuffled, err := circuits.HierarchicalRandom(shuffledOpt)
+	if err != nil {
+		return nil, err
+	}
+	adder, err := circuits.CuccaroAdder(10)
+	if err != nil {
+		return nil, err
+	}
+	qft, err := circuits.QFTLike(16)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StitchGenRow
+	for _, wl := range []workload{
+		{name: "hier-shuffled", c: shuffled},
+		{name: "hier-static", c: static},
+		{name: "adder-10bit", c: adder},
+		{name: "qft-16", c: qft},
+	} {
+		pg := subdiv.GlobalEmbed(wl.c, seed)
+		simG, err := mesh.Simulate(wl.c, pg, mesh.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("stitchgen %s global: %w", wl.name, err)
+		}
+		st, err := subdiv.Stitch(wl.c, subdiv.Options{Seed: seed, MoveBudget: wl.c.NumQubits / 6})
+		if err != nil {
+			return nil, fmt.Errorf("stitchgen %s stitch: %w", wl.name, err)
+		}
+		simS, err := mesh.Simulate(st.Circuit, st.Placement, mesh.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("stitchgen %s stitched sim: %w", wl.name, err)
+		}
+		rows = append(rows, StitchGenRow{
+			Workload:        wl.name,
+			Qubits:          wl.c.NumQubits,
+			GlobalLatency:   simG.Latency,
+			StitchedLatency: simS.Latency,
+			Moves:           st.Moves,
+			Gain:            float64(simG.Latency) / float64(simS.Latency),
+		})
+	}
+	return rows, nil
+}
+
+// WriteStitchGen renders the generalization comparison.
+func WriteStitchGen(w io.Writer, rows []StitchGenRow) {
+	fmt.Fprintln(w, "Stitching generalization (§IX) — global GP embedding vs windowed stitching")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tqubits\tglobal\tstitched\tmoves\tgain")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.2fx\n",
+			r.Workload, r.Qubits, r.GlobalLatency, r.StitchedLatency, r.Moves, r.Gain)
+	}
+	tw.Flush()
+}

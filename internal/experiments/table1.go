@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"magicstate/internal/core"
+)
+
+// Table1Cell is one entry of Table I: the quantum volume a procedure
+// needs for a factory of the given level and capacity. Zero Volume means
+// the cell is empty in the paper (e.g. HS for single-level factories).
+type Table1Cell struct {
+	Procedure string
+	Level     int
+	Capacity  int
+	Volume    float64
+}
+
+// Table1Result reproduces Table I. Procedures appear in the paper's row
+// order: Random, Line(NR), Line(R), FD, GP, HS, Critical.
+type Table1Result struct {
+	Level1Capacities []int
+	Level2Capacities []int
+	Cells            []Table1Cell
+}
+
+// Procedures is Table I's row order.
+var Procedures = []string{"Random", "Line(NR)", "Line(R)", "FD", "GP", "HS", "Critical"}
+
+// Cell looks up a cell by procedure, level and capacity; ok is false for
+// cells the table leaves empty.
+func (t *Table1Result) Cell(proc string, level, capacity int) (Table1Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Procedure == proc && c.Level == level && c.Capacity == capacity {
+			return c, true
+		}
+	}
+	return Table1Cell{}, false
+}
+
+// Table1 regenerates Table I for the given capacity sets (the paper uses
+// level 1 K in {2,4,8,10,24} and level 2 K in {4,16,36,64,100}).
+func Table1(level1, level2 []int, seed int64) (*Table1Result, error) {
+	res := &Table1Result{Level1Capacities: level1, Level2Capacities: level2}
+	add := func(proc string, level, cap int, vol float64) {
+		res.Cells = append(res.Cells, Table1Cell{Procedure: proc, Level: level, Capacity: cap, Volume: vol})
+	}
+	for _, cap := range level1 {
+		rnd, err := runCapacity(cap, 1, core.StrategyRandom, false, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table1 random cap %d: %w", cap, err)
+		}
+		add("Random", 1, cap, rnd.Volume)
+		line, err := runCapacity(cap, 1, core.StrategyLinear, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Single-level factories have no rounds to reuse across; both
+		// Line rows coincide, as their Table I values nearly do.
+		add("Line(NR)", 1, cap, line.Volume)
+		add("Line(R)", 1, cap, line.Volume)
+		fd, err := runCapacity(cap, 1, core.StrategyForceDirected, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("FD", 1, cap, fd.Volume)
+		gp, err := runCapacity(cap, 1, core.StrategyGraphPartition, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("GP", 1, cap, gp.Volume)
+		add("Critical", 1, cap, line.CriticalVolume)
+	}
+	for _, cap := range level2 {
+		lineNR, err := runCapacity(cap, 2, core.StrategyLinear, false, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table1 line cap %d: %w", cap, err)
+		}
+		add("Line(NR)", 2, cap, lineNR.Volume)
+		lineR, err := runCapacity(cap, 2, core.StrategyLinear, true, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("Line(R)", 2, cap, lineR.Volume)
+		fd, err := bestReuse(cap, 2, core.StrategyForceDirected, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("FD", 2, cap, fd.Volume)
+		gp, err := bestReuse(cap, 2, core.StrategyGraphPartition, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("GP", 2, cap, gp.Volume)
+		hs, err := bestReuse(cap, 2, core.StrategyStitch, seed)
+		if err != nil {
+			return nil, err
+		}
+		add("HS", 2, cap, hs.Volume)
+		// Critical volume uses the reuse footprint (the smallest machine
+		// that can run the factory) times the dependency bound.
+		critArea := lineR.Area
+		add("Critical", 2, cap, float64(lineR.CriticalLatency)*float64(critArea))
+	}
+	return res, nil
+}
+
+// HeadlineImprovement returns the Line(NR) / HS volume ratio at the
+// largest level-2 capacity — the paper's 5.64x headline.
+func (t *Table1Result) HeadlineImprovement() float64 {
+	if len(t.Level2Capacities) == 0 {
+		return 0
+	}
+	cap := t.Level2Capacities[len(t.Level2Capacities)-1]
+	line, ok1 := t.Cell("Line(NR)", 2, cap)
+	hs, ok2 := t.Cell("HS", 2, cap)
+	if !ok1 || !ok2 || hs.Volume == 0 {
+		return 0
+	}
+	return line.Volume / hs.Volume
+}

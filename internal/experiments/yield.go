@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/montecarlo"
+	"magicstate/internal/resource"
+)
+
+// YieldRow is one factory configuration of the Monte-Carlo yield study:
+// sampled full-batch yield against the first-order analytic model, plus
+// the effect of O'Gorman-Campbell checkpoints [20] and a loss-
+// compensation reserve (§IX).
+type YieldRow struct {
+	K, Levels int
+	// AnalyticFullYield is the closed-form all-modules-pass probability.
+	AnalyticFullYield float64
+	// SampledFullYield is the Monte-Carlo estimate of the same event.
+	SampledFullYield float64
+	// MeanOutputs is the average delivered states per run (partial
+	// yields included — what a prepared-state buffer actually sees).
+	MeanOutputs float64
+	// CheckpointMeanOutputs repeats the measurement with group discards.
+	CheckpointMeanOutputs float64
+	// ReserveFullYield adds one spare module per round.
+	ReserveFullYield float64
+	// Capacity is K^Levels for normalizing.
+	Capacity int
+}
+
+// Yield samples every (k, levels) combination for the given trial count.
+func Yield(ks []int, levels, trials int, seed int64) ([]YieldRow, error) {
+	em := resource.DefaultError()
+	var rows []YieldRow
+	for _, k := range ks {
+		p := bravyi.Params{K: k, Levels: levels, Barriers: true}
+		base := montecarlo.Config{Params: p, Errors: em, Trials: trials, Seed: seed}
+		plain, err := montecarlo.Run(base)
+		if err != nil {
+			return nil, fmt.Errorf("yield k=%d: %w", k, err)
+		}
+		ck := base
+		ck.Checkpoints = true
+		checked, err := montecarlo.Run(ck)
+		if err != nil {
+			return nil, fmt.Errorf("yield k=%d checkpoints: %w", k, err)
+		}
+		rv := base
+		rv.Reserve = make([]int, levels)
+		for i := range rv.Reserve {
+			rv.Reserve[i] = 1
+		}
+		reserved, err := montecarlo.Run(rv)
+		if err != nil {
+			return nil, fmt.Errorf("yield k=%d reserve: %w", k, err)
+		}
+		rows = append(rows, YieldRow{
+			K:                     k,
+			Levels:                levels,
+			AnalyticFullYield:     montecarlo.AnalyticFullYield(p, em),
+			SampledFullYield:      plain.FullYieldRate,
+			MeanOutputs:           plain.MeanOutputs,
+			CheckpointMeanOutputs: checked.MeanOutputs,
+			ReserveFullYield:      reserved.FullYieldRate,
+			Capacity:              p.Capacity(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteYield renders the yield study.
+func WriteYield(w io.Writer, levels, trials int, rows []YieldRow) {
+	fmt.Fprintf(w, "Monte-Carlo factory yield — level %d, %d trials per point\n", levels, trials)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "K\tcapacity\tanalytic full\tsampled full\tmean out\tmean out (ckpt)\tfull w/ reserve")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.3f\t%.2f\t%.2f\t%.3f\n",
+			r.K, r.Capacity, r.AnalyticFullYield, r.SampledFullYield,
+			r.MeanOutputs, r.CheckpointMeanOutputs, r.ReserveFullYield)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,494 @@
+// Package force implements the force-directed annealing mapper of
+// §VI.B.1. Starting from an initial placement (the paper transforms the
+// hand-optimized linear mapping), it iteratively computes three families
+// of forces on each vertex of the interaction graph —
+//
+//   - vertex-vertex attraction toward the centroid of its neighborhood
+//     (edge length reduction),
+//   - edge-edge repulsion between edge midpoints with inverse-square
+//     falloff (edge spacing maximization),
+//   - magnetic-dipole rotation derived from a per-timestep 2-coloring of
+//     the qubits, preferring (anti-)parallel edges over crossing ones,
+//
+// — then proposes moving vertices one tile along their net force, gated by
+// a cost function over average edge length, edge spacing and crossing
+// count. When the local search converges, community-level escape moves
+// (repulsing whole communities apart or attracting a fragmented
+// community's k-means clusters together) kick the mapping out of the
+// local minimum, as the paper describes.
+package force
+
+import (
+	"math"
+	"math/rand"
+
+	"magicstate/internal/circuit"
+	"magicstate/internal/cluster"
+	"magicstate/internal/graph"
+	"magicstate/internal/layout"
+)
+
+// Options tunes the annealer.
+type Options struct {
+	// Iterations caps force sweeps; 0 picks a size-dependent default.
+	Iterations int
+	// Seed drives proposal order, community detection and k-means.
+	Seed int64
+	// WAttract, WRepulse, WDipole weight the three force families.
+	// Zero values take defaults (1, 1, 1).
+	WAttract, WRepulse, WDipole float64
+	// CostSample caps how many other edges are consulted when estimating
+	// a move's effect on crossings and spacing (0 = 400); keeps large
+	// factories tractable, as the paper's own O(m^2) analysis warns.
+	CostSample int
+	// MarginRows adds free rows above and below the initial placement so
+	// the line can fold into 2-D; 0 picks 3.
+	MarginRows int
+	// DisableDipole and DisableCommunity switch off individual heuristics
+	// for ablation benches.
+	DisableDipole    bool
+	DisableCommunity bool
+}
+
+func (o *Options) fill(n int) {
+	if o.Iterations == 0 {
+		switch {
+		case n <= 200:
+			o.Iterations = 120
+		case n <= 1000:
+			o.Iterations = 40
+		default:
+			o.Iterations = 30
+		}
+	}
+	if o.WAttract == 0 {
+		o.WAttract = 1
+	}
+	if o.WRepulse == 0 {
+		o.WRepulse = 1
+	}
+	if o.WDipole == 0 {
+		o.WDipole = 1
+	}
+	if o.CostSample == 0 {
+		o.CostSample = 400
+	}
+	if o.MarginRows == 0 {
+		o.MarginRows = 4
+	}
+}
+
+// Anneal returns an optimized copy of init. c supplies the schedule used
+// for the dipole 2-coloring; it must be the circuit g was built from.
+func Anneal(g *graph.Graph, c *circuit.Circuit, init *layout.Placement, opt Options) *layout.Placement {
+	opt.fill(g.N)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Work on an expanded canvas so vertices can leave the initial hull.
+	p := init.Clone()
+	p.Normalize()
+	margin := opt.MarginRows
+	for q := range p.Pos {
+		p.Pos[q].X += margin
+		p.Pos[q].Y += margin
+	}
+	p.W += 2 * margin
+	p.H += 2 * margin
+
+	var poles []int
+	if !opt.DisableDipole {
+		poles = graph.Poles(c)
+	}
+	var comm []int
+	commCount := 0
+	if !opt.DisableCommunity {
+		comm, commCount = graph.Communities(g, rng)
+	}
+
+	st := newState(g, p, opt, rng)
+	stuck := 0
+	for iter := 0; iter < opt.Iterations; iter++ {
+		// Community attraction alternates with force sweeps: it compacts
+		// each community around its centroid with forced moves, escaping
+		// the 1-D local minima the cost-gated sweep cannot leave.
+		if !opt.DisableCommunity && commCount > 1 && iter%2 == 1 {
+			st.communityAttract(comm, commCount)
+		}
+		moved := st.sweep(poles)
+		if moved == 0 {
+			stuck++
+			if !opt.DisableCommunity && commCount > 1 {
+				st.communityKick(comm, commCount)
+			}
+			if stuck >= 3 {
+				break
+			}
+		} else {
+			stuck = 0
+		}
+	}
+	st.p.Normalize()
+	return st.p
+}
+
+// state carries the incremental bookkeeping of one annealing run.
+type state struct {
+	g   *graph.Graph
+	p   *layout.Placement
+	opt Options
+	rng *rand.Rand
+	occ map[layout.Point]int // tile -> qubit
+	// incident[v] lists edge indices touching v.
+	incident [][]int
+}
+
+func newState(g *graph.Graph, p *layout.Placement, opt Options, rng *rand.Rand) *state {
+	st := &state{g: g, p: p, opt: opt, rng: rng, occ: map[layout.Point]int{}}
+	for q, pt := range p.Pos {
+		st.occ[pt] = q
+	}
+	st.incident = make([][]int, g.N)
+	for ei, e := range g.Edges {
+		st.incident[e.U] = append(st.incident[e.U], ei)
+		st.incident[e.V] = append(st.incident[e.V], ei)
+	}
+	return st
+}
+
+// forceOn computes the net force vector on vertex v.
+func (st *state) forceOn(v int, poles []int) (fx, fy float64) {
+	pv := st.p.At(v)
+	// Attraction to neighborhood centroid.
+	var cx, cy, wsum float64
+	st.g.Neighbors(v, func(u int, w float64) {
+		pu := st.p.At(u)
+		cx += w * float64(pu.X)
+		cy += w * float64(pu.Y)
+		wsum += w
+	})
+	if wsum > 0 {
+		fx += st.opt.WAttract * (cx/wsum - float64(pv.X))
+		fy += st.opt.WAttract * (cy/wsum - float64(pv.Y))
+	}
+	// Edge-edge repulsion: push v's edges' midpoints away from sampled
+	// other midpoints, inverse-square in midpoint distance.
+	if len(st.g.Edges) > 1 {
+		sample := st.opt.CostSample
+		for _, ei := range st.incident[v] {
+			mvx, mvy := st.midpoint(ei)
+			for s := 0; s < sample; s++ {
+				oi := st.rng.Intn(len(st.g.Edges))
+				if oi == ei {
+					continue
+				}
+				mox, moy := st.midpoint(oi)
+				dx, dy := mvx-mox, mvy-moy
+				d2 := dx*dx + dy*dy
+				if d2 < 0.25 {
+					d2 = 0.25
+				}
+				if d2 > 64 { // cutoff: distant edges contribute nothing
+					continue
+				}
+				inv := st.opt.WRepulse / d2
+				norm := math.Sqrt(d2)
+				fx += inv * dx / norm
+				fy += inv * dy / norm
+			}
+			if sample > 8 {
+				sample = 8 // first incident edge dominates; keep the rest cheap
+			}
+		}
+	}
+	// Dipole rotation: like poles repel, opposite poles attract, with
+	// inverse-square falloff, over a sample of vertices.
+	if poles != nil {
+		for s := 0; s < 32; s++ {
+			u := st.rng.Intn(st.g.N)
+			if u == v {
+				continue
+			}
+			pu := st.p.At(u)
+			dx := float64(pv.X - pu.X)
+			dy := float64(pv.Y - pu.Y)
+			d2 := dx*dx + dy*dy
+			if d2 < 0.25 {
+				d2 = 0.25
+			}
+			if d2 > 36 {
+				continue
+			}
+			sign := -1.0 // opposite poles attract (pull toward u)
+			if poles[v] == poles[u] {
+				sign = 1.0
+			}
+			inv := st.opt.WDipole * sign / d2
+			norm := math.Sqrt(d2)
+			fx += inv * dx / norm
+			fy += inv * dy / norm
+		}
+	}
+	return fx, fy
+}
+
+func (st *state) midpoint(ei int) (float64, float64) {
+	e := st.g.Edges[ei]
+	a, b := st.p.At(e.U), st.p.At(e.V)
+	return float64(a.X+b.X) / 2, float64(a.Y+b.Y) / 2
+}
+
+// sweep proposes one move per vertex along its force and returns how many
+// were accepted.
+func (st *state) sweep(poles []int) int {
+	order := st.rng.Perm(st.g.N)
+	moved := 0
+	for _, v := range order {
+		fx, fy := st.forceOn(v, poles)
+		if fx == 0 && fy == 0 {
+			continue
+		}
+		step := layout.Point{X: intSign(fx), Y: intSign(fy)}
+		// Prefer the dominant axis; fall back to the other.
+		if math.Abs(fx) < math.Abs(fy) {
+			if st.tryMove(v, layout.Point{X: 0, Y: step.Y}) || st.tryMove(v, layout.Point{X: step.X, Y: 0}) {
+				moved++
+			}
+		} else {
+			if st.tryMove(v, layout.Point{X: step.X, Y: 0}) || st.tryMove(v, layout.Point{X: 0, Y: step.Y}) {
+				moved++
+			}
+		}
+	}
+	return moved
+}
+
+func intSign(f float64) int {
+	switch {
+	case f > 0.25:
+		return 1
+	case f < -0.25:
+		return -1
+	}
+	return 0
+}
+
+// tryMove attempts to move v by delta (to a free tile, or swapping with
+// the occupant) and keeps the move only if the sampled cost does not
+// increase.
+func (st *state) tryMove(v int, delta layout.Point) bool {
+	if delta == (layout.Point{}) {
+		return false
+	}
+	from := st.p.At(v)
+	to := layout.Point{X: from.X + delta.X, Y: from.Y + delta.Y}
+	if to.X < 0 || to.X >= st.p.W || to.Y < 0 || to.Y >= st.p.H {
+		return false
+	}
+	occupant, swap := st.occ[to]
+	// Sample the comparison edge set once so before/after scores differ
+	// only through the move, not through sampling noise.
+	sample := st.sampleEdgeSet()
+	before := st.localCost(v, sample)
+	if swap {
+		before += st.localCost(occupant, sample)
+	}
+	st.apply(v, to, occupant, swap, from)
+	after := st.localCost(v, sample)
+	if swap {
+		after += st.localCost(occupant, sample)
+	}
+	if after <= before {
+		return true
+	}
+	// Revert.
+	st.apply(v, from, occupant, swap, to)
+	return false
+}
+
+func (st *state) apply(v int, to layout.Point, occupant int, swap bool, from layout.Point) {
+	if swap {
+		st.p.Set(occupant, from)
+		st.occ[from] = occupant
+	} else {
+		delete(st.occ, from)
+	}
+	st.p.Set(v, to)
+	st.occ[to] = v
+}
+
+// sampleEdgeSet draws the comparison edges used for one move evaluation.
+// Small graphs compare against every edge; large ones against a random
+// subset of CostSample edges.
+func (st *state) sampleEdgeSet() []int {
+	m := len(st.g.Edges)
+	if m <= st.opt.CostSample {
+		all := make([]int, m)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	sample := make([]int, st.opt.CostSample)
+	for i := range sample {
+		sample[i] = st.rng.Intn(m)
+	}
+	return sample
+}
+
+// localCost scores vertex v's edges against the given comparison edges:
+// weighted length plus crossing count minus spacing, mirroring the
+// paper's cost metric locally.
+func (st *state) localCost(v int, sample []int) float64 {
+	const crossWeight = 4.0
+	const spacingWeight = 0.5
+	var cost float64
+	edges := st.incident[v]
+	if len(edges) == 0 {
+		return 0
+	}
+	for _, ei := range edges {
+		e := st.g.Edges[ei]
+		a, b := st.p.At(e.U), st.p.At(e.V)
+		cost += e.Weight * float64(layout.Manhattan(a, b))
+		seg := layout.Segment{A: a, B: b}
+		mx, my := st.midpoint(ei)
+		for _, oi := range sample {
+			if oi == ei {
+				continue
+			}
+			oe := st.g.Edges[oi]
+			oseg := layout.Segment{A: st.p.At(oe.U), B: st.p.At(oe.V)}
+			if layout.SegmentsConflict(seg, oseg) {
+				cost += crossWeight
+			}
+			ox, oy := st.midpoint(oi)
+			dx, dy := mx-ox, my-oy
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d < 8 {
+				cost += spacingWeight * (8 - d) / 8
+			}
+		}
+	}
+	return cost
+}
+
+// communityAttract compacts every community toward a square block
+// centered on its centroid: each member is assigned a target slot inside
+// the block (row-major, members ordered by current position) and forced
+// one step toward it, moving only onto free tiles but ignoring the local
+// cost gate. These are the paper's forced community moves — they break
+// the 1-D local minima (a flat line exerts no vertical force at all) and
+// the following sweep re-polishes. The block shape is what "attract all
+// nodes within a single community together" converges to on a grid.
+func (st *state) communityAttract(comm []int, commCount int) {
+	members := make([][]int, commCount)
+	for v, cid := range comm {
+		members[cid] = append(members[cid], v)
+	}
+	for _, vs := range members {
+		if len(vs) < 3 {
+			continue
+		}
+		cx, cy := st.p.CenterOfMass(vs)
+		// Block dimensions with ~20% slack.
+		side := 1
+		for side*side < len(vs)*6/5 {
+			side++
+		}
+		// Order members by current position (row-major) so targets keep
+		// relative order and moves do not cross each other.
+		ordered := append([]int(nil), vs...)
+		sortBy(ordered, func(a, b int) bool {
+			pa, pb := st.p.At(a), st.p.At(b)
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			return pa.X < pb.X
+		})
+		x0 := int(cx) - side/2
+		y0 := int(cy) - side/2
+		for i, v := range ordered {
+			tx := x0 + i%side
+			ty := y0 + i/side
+			pt := st.p.At(v)
+			dx := intSign(float64(tx - pt.X))
+			dy := intSign(float64(ty - pt.Y))
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			st.forcedMove(v, layout.Point{X: dx, Y: dy})
+		}
+	}
+}
+
+// forcedMove relocates v by delta when the destination tile is free (or
+// one axis of it is); it never swaps and never consults the cost gate.
+func (st *state) forcedMove(v int, delta layout.Point) bool {
+	from := st.p.At(v)
+	for _, d := range []layout.Point{delta, {X: delta.X, Y: 0}, {X: 0, Y: delta.Y}} {
+		if d == (layout.Point{}) {
+			continue
+		}
+		to := layout.Point{X: from.X + d.X, Y: from.Y + d.Y}
+		if to.X < 0 || to.X >= st.p.W || to.Y < 0 || to.Y >= st.p.H {
+			continue
+		}
+		if _, occupied := st.occ[to]; occupied {
+			continue
+		}
+		st.apply(v, to, 0, false, from)
+		return true
+	}
+	return false
+}
+
+func sortBy(xs []int, less func(a, b int) bool) {
+	// Insertion sort: community member lists are small enough and this
+	// avoids importing sort with closure allocation in the hot path.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// communityKick applies the paper's two community-level escape moves: it
+// pushes distinct communities' centers apart and pulls each fragmented
+// community's k-means clusters toward their joint center.
+func (st *state) communityKick(comm []int, commCount int) {
+	// Gather members and centers.
+	members := make([][]int, commCount)
+	for v, cid := range comm {
+		members[cid] = append(members[cid], v)
+	}
+	for cid, vs := range members {
+		if len(vs) < 2 {
+			continue
+		}
+		// Cluster the community spatially; if split, attract clusters
+		// toward the community centroid.
+		pts := make([]cluster.Point, len(vs))
+		for i, v := range vs {
+			pt := st.p.At(v)
+			pts[i] = cluster.Point{X: float64(pt.X), Y: float64(pt.Y)}
+		}
+		kk := 2
+		res := cluster.KMeans(pts, kk, 25, st.rng)
+		if len(res.Centroids) < 2 {
+			continue
+		}
+		ccx, ccy := st.p.CenterOfMass(vs)
+		for i, v := range vs {
+			ctr := res.Centroids[res.Assign[i]]
+			// Move cluster members one step from their cluster centroid
+			// toward the community centroid.
+			dx := intSign(ccx - ctr.X)
+			dy := intSign(ccy - ctr.Y)
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			st.tryMove(v, layout.Point{X: dx, Y: dy})
+		}
+		_ = cid
+	}
+}

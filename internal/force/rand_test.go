@@ -1,0 +1,9 @@
+package force
+
+import "math/rand"
+
+// randWrap gives tests a *rand.Rand without importing math/rand at every
+// call site.
+type randWrap = rand.Rand
+
+func newRandWrap(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

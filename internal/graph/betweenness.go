@@ -1,0 +1,194 @@
+package graph
+
+import "sort"
+
+// EdgeBetweenness returns, per edge (indexed as in g.Edges), the number of
+// shortest paths between all vertex pairs that traverse the edge —
+// Brandes' accumulation over unweighted breadth-first shortest paths
+// [35]. Edge weights are treated as interaction multiplicities, not
+// lengths, matching how the mappers read the interaction graph.
+func EdgeBetweenness(g *Graph) []float64 {
+	bc := make([]float64, len(g.Edges))
+	if g.N == 0 {
+		return bc
+	}
+	// Per-source BFS with path counting, then dependency accumulation.
+	dist := make([]int, g.N)
+	sigma := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	order := make([]int, 0, g.N)
+	queue := make([]int, 0, g.N)
+	// preds[v] lists (pred vertex, edge index) pairs on shortest paths.
+	type pred struct{ v, e int }
+	preds := make([][]pred, g.N)
+
+	for s := 0; s < g.N; s++ {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		queue = queue[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ei := range g.adj[v] {
+				e := g.Edges[ei]
+				u := e.U
+				if u == v {
+					u = e.V
+				}
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+					preds[u] = append(preds[u], pred{v: v, e: ei})
+				}
+			}
+		}
+		// Accumulate dependencies in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, p := range preds[w] {
+				share := sigma[p.v] / sigma[w] * (1 + delta[w])
+				delta[p.v] += share
+				bc[p.e] += share
+			}
+		}
+	}
+	// Each undirected pair was counted from both endpoints.
+	for i := range bc {
+		bc[i] /= 2
+	}
+	return bc
+}
+
+// GirvanNewman detects communities by iteratively removing the
+// highest-betweenness edge and keeping the connected-component partition
+// of highest modularity seen along the way [35]. maxRemovals caps the
+// number of edge removals (zero means remove every edge if needed). The
+// result maps every vertex to a dense community id.
+func GirvanNewman(g *Graph, maxRemovals int) ([]int, int) {
+	if maxRemovals <= 0 || maxRemovals > len(g.Edges) {
+		maxRemovals = len(g.Edges)
+	}
+	// Work on a copy whose edges can be deactivated.
+	work := New(g.N)
+	for _, e := range g.Edges {
+		work.AddEdge(e.U, e.V, e.Weight)
+	}
+	removed := make([]bool, len(work.Edges))
+
+	bestLabel, bestCount := componentsSkipping(work, removed)
+	bestQ := Modularity(g, bestLabel)
+
+	for step := 0; step < maxRemovals; step++ {
+		bc := betweennessSkipping(work, removed)
+		target, targetBC := -1, -1.0
+		for ei := range work.Edges {
+			if removed[ei] {
+				continue
+			}
+			if bc[ei] > targetBC {
+				target, targetBC = ei, bc[ei]
+			}
+		}
+		if target < 0 {
+			break
+		}
+		removed[target] = true
+		label, count := componentsSkipping(work, removed)
+		if q := Modularity(g, label); q > bestQ {
+			bestQ = q
+			bestLabel, bestCount = label, count
+		}
+	}
+	return bestLabel, bestCount
+}
+
+// betweennessSkipping runs EdgeBetweenness over the subgraph of active
+// edges.
+func betweennessSkipping(g *Graph, removed []bool) []float64 {
+	sub := New(g.N)
+	// Map sub edge indices back to g edge indices.
+	back := make([]int, 0, len(g.Edges))
+	for ei, e := range g.Edges {
+		if removed[ei] {
+			continue
+		}
+		sub.AddEdge(e.U, e.V, e.Weight)
+		back = append(back, ei)
+	}
+	sbc := EdgeBetweenness(sub)
+	bc := make([]float64, len(g.Edges))
+	for si, v := range sbc {
+		bc[back[si]] = v
+	}
+	return bc
+}
+
+// componentsSkipping labels connected components over active edges.
+func componentsSkipping(g *Graph, removed []bool) ([]int, int) {
+	label := make([]int, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	count := 0
+	var stack []int
+	for s := 0; s < g.N; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range g.adj[v] {
+				if removed[ei] {
+					continue
+				}
+				e := g.Edges[ei]
+				u := e.U
+				if u == v {
+					u = e.V
+				}
+				if label[u] < 0 {
+					label[u] = count
+					stack = append(stack, u)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// TopBetweennessEdges returns the indices of the n highest-betweenness
+// edges, descending; ties break toward the lower edge index for
+// determinism.
+func TopBetweennessEdges(g *Graph, n int) []int {
+	bc := EdgeBetweenness(g)
+	idx := make([]int, len(bc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if bc[idx[a]] != bc[idx[b]] {
+			return bc[idx[a]] > bc[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "magicstate/internal/circuit"
+
+// Poles assigns a magnetic pole (+1 or -1) to every qubit for the dipole
+// rotation heuristic (§VI.B.1). The paper observes that within any single
+// schedule timestep each qubit touches at most one two-qubit gate (or one
+// arm of a multi-target CXX), so the per-timestep interaction subgraph is
+// a disjoint union of paths and stars and is 2-colorable. We 2-color each
+// ASAP level's subgraph and let every level vote; a qubit's final pole is
+// the sign of its vote sum (ties resolve to +1).
+func Poles(c *circuit.Circuit) []int {
+	levels := circuit.Deps(c).Levels()
+	// Bucket two-qubit gates by level.
+	byLevel := make(map[int][]int)
+	maxLevel := 0
+	for i := range c.Gates {
+		if !c.Gates[i].Kind.IsTwoQubit() {
+			continue
+		}
+		l := levels[i]
+		byLevel[l] = append(byLevel[l], i)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	votes := make([]int, c.NumQubits)
+	color := make([]int, c.NumQubits) // scratch: 0 unset, +1/-1 per level
+	for l := 0; l <= maxLevel; l++ {
+		gates := byLevel[l]
+		if len(gates) == 0 {
+			continue
+		}
+		// Build the level's adjacency and 2-color by BFS; conflicts (possible
+		// when distinct gates at the same ASAP level share a qubit through
+		// non-chain hazards) keep the first color.
+		adj := make(map[int][]int)
+		touch := make([]int, 0, len(gates)*2)
+		add := func(a, b int) {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+			touch = append(touch, a, b)
+		}
+		for _, gi := range gates {
+			g := &c.Gates[gi]
+			switch g.Kind {
+			case circuit.KindCXX:
+				for _, t := range g.Targets {
+					add(int(g.Control), int(t))
+				}
+			case circuit.KindMove:
+				add(int(g.Control), int(g.Dest))
+			default:
+				add(int(g.Control), int(g.Targets[0]))
+			}
+		}
+		for _, v := range touch {
+			color[v] = 0
+		}
+		for _, v := range touch {
+			if color[v] != 0 {
+				continue
+			}
+			color[v] = 1
+			queue := []int{v}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, w := range adj[u] {
+					if color[w] == 0 {
+						color[w] = -color[u]
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		for _, v := range touch {
+			votes[v] += color[v]
+		}
+	}
+	poles := make([]int, c.NumQubits)
+	for i, v := range votes {
+		if v < 0 {
+			poles[i] = -1
+		} else {
+			poles[i] = 1
+		}
+	}
+	return poles
+}

@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magicstate/internal/bravyi"
+)
+
+// twoCliques builds two size-n cliques joined by a single bridge edge —
+// the canonical community-detection fixture.
+func twoCliques(n int) *Graph {
+	g := New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+			g.AddEdge(n+i, n+j, 1)
+		}
+	}
+	g.AddEdge(0, n, 1) // bridge
+	return g
+}
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func sameSide(label []int, a, b int) bool { return label[a] == label[b] }
+
+func TestEdgeBetweennessPathGraph(t *testing.T) {
+	// On a path of 5 vertices, the middle edge (1-2 or 2-3) carries the
+	// most shortest paths: 2-3 carries 3*2=6, 1-2 carries 2*3=6, ends 4.
+	g := pathGraph(5)
+	bc := EdgeBetweenness(g)
+	// Edge order follows AddEdge: (0,1), (1,2), (2,3), (3,4).
+	if bc[0] != 4 || bc[3] != 4 {
+		t.Errorf("end edges carry %g and %g, want 4 (1*4 pairs)", bc[0], bc[3])
+	}
+	if bc[1] != 6 || bc[2] != 6 {
+		t.Errorf("middle edges carry %g and %g, want 6 (2*3 pairs)", bc[1], bc[2])
+	}
+}
+
+func TestEdgeBetweennessBridgeDominates(t *testing.T) {
+	g := twoCliques(4)
+	bc := EdgeBetweenness(g)
+	top := TopBetweennessEdges(g, 1)
+	e := g.Edges[top[0]]
+	if !(e.U == 0 && e.V == 4) {
+		t.Errorf("top edge is (%d,%d), want the bridge (0,4)", e.U, e.V)
+	}
+	// The bridge carries all 16 cross-clique pairs.
+	if bc[top[0]] != 16 {
+		t.Errorf("bridge betweenness = %g, want 16", bc[top[0]])
+	}
+}
+
+func TestEdgeBetweennessEmptyAndSingleton(t *testing.T) {
+	if got := EdgeBetweenness(New(0)); len(got) != 0 {
+		t.Errorf("empty graph produced %d entries", len(got))
+	}
+	if got := EdgeBetweenness(New(3)); len(got) != 0 {
+		t.Errorf("edgeless graph produced %d entries", len(got))
+	}
+}
+
+func TestGirvanNewmanSplitsCliques(t *testing.T) {
+	g := twoCliques(5)
+	label, count := GirvanNewman(g, 0)
+	if count != 2 {
+		t.Fatalf("found %d communities, want 2", count)
+	}
+	for i := 1; i < 5; i++ {
+		if !sameSide(label, 0, i) {
+			t.Errorf("clique A split: vertices 0 and %d differ", i)
+		}
+		if !sameSide(label, 5, 5+i) {
+			t.Errorf("clique B split: vertices 5 and %d differ", 5+i)
+		}
+	}
+	if sameSide(label, 0, 5) {
+		t.Error("cliques merged")
+	}
+	if q := Modularity(g, label); q < 0.3 {
+		t.Errorf("modularity = %g, want > 0.3 for clean split", q)
+	}
+}
+
+func TestGirvanNewmanRemovalCap(t *testing.T) {
+	g := twoCliques(4)
+	// With zero allowed removals the best partition is the whole graph.
+	label, count := GirvanNewman(g, -1)
+	if count < 1 {
+		t.Errorf("count = %d", count)
+	}
+	_ = label
+}
+
+func TestFiedlerVectorOrthogonalToOnes(t *testing.T) {
+	g := twoCliques(4)
+	fv := FiedlerVector(g, 0)
+	var sum, norm float64
+	for _, x := range fv {
+		sum += x
+		norm += x * x
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Errorf("Fiedler vector has constant component %g", sum)
+	}
+	if math.Abs(norm-1) > 1e-6 {
+		t.Errorf("Fiedler vector norm^2 = %g, want 1", norm)
+	}
+}
+
+func TestFiedlerVectorSeparatesCliques(t *testing.T) {
+	g := twoCliques(5)
+	fv := FiedlerVector(g, 0)
+	// All of clique A should share a sign, opposite to clique B.
+	for i := 1; i < 5; i++ {
+		if fv[0]*fv[i] <= 0 {
+			t.Errorf("clique A signs differ: fv[0]=%g fv[%d]=%g", fv[0], i, fv[i])
+		}
+		if fv[5]*fv[5+i] <= 0 {
+			t.Errorf("clique B signs differ: fv[5]=%g fv[%d]=%g", fv[5], 5+i, fv[5+i])
+		}
+	}
+	if fv[0]*fv[5] >= 0 {
+		t.Error("cliques share a sign")
+	}
+}
+
+func TestFiedlerVectorTinyGraphs(t *testing.T) {
+	if fv := FiedlerVector(New(0), 0); len(fv) != 0 {
+		t.Error("non-empty vector for empty graph")
+	}
+	if fv := FiedlerVector(New(1), 0); len(fv) != 1 || fv[0] != 0 {
+		t.Errorf("singleton vector = %v, want [0]", fv)
+	}
+}
+
+func TestSpectralBisectBalanced(t *testing.T) {
+	g := twoCliques(5)
+	label := SpectralBisect(g)
+	zero := 0
+	for _, l := range label {
+		if l == 0 {
+			zero++
+		}
+	}
+	if zero != 5 {
+		t.Errorf("side 0 has %d vertices, want 5", zero)
+	}
+	for i := 1; i < 5; i++ {
+		if !sameSide(label, 0, i) || !sameSide(label, 5, 5+i) {
+			t.Fatalf("bisection does not respect cliques: %v", label)
+		}
+	}
+}
+
+func TestSpectralCommunitiesCounts(t *testing.T) {
+	g := twoCliques(4)
+	label, count := SpectralCommunities(g, 2)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if len(label) != g.N {
+		t.Errorf("label length %d, want %d", len(label), g.N)
+	}
+	if _, c := SpectralCommunities(New(0), 4); c != 0 {
+		t.Errorf("empty graph count = %d", c)
+	}
+	if _, c := SpectralCommunities(g, 1); c != 1 {
+		t.Errorf("k=1 count = %d", c)
+	}
+}
+
+func TestWalkProfilesAreDistributions(t *testing.T) {
+	g := twoCliques(4)
+	rows := WalkProfiles(g, 3)
+	for v, row := range rows {
+		var s float64
+		for _, p := range row {
+			if p < -1e-12 {
+				t.Fatalf("negative probability %g", p)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d sums to %g, want 1", v, s)
+		}
+	}
+}
+
+func TestWalkProfilesIsolatedVertexHoldsMass(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	rows := WalkProfiles(g, 4)
+	if rows[2][2] != 1 {
+		t.Errorf("isolated vertex mass = %g, want 1", rows[2][2])
+	}
+}
+
+func TestRandomWalkCommunitiesSplitsCliques(t *testing.T) {
+	g := twoCliques(5)
+	label, count := RandomWalkCommunities(g, 0)
+	if count != 2 {
+		t.Fatalf("found %d communities, want 2 (label=%v)", count, label)
+	}
+	if sameSide(label, 0, 5) {
+		t.Error("cliques merged")
+	}
+}
+
+func TestRandomWalkCommunitiesEmpty(t *testing.T) {
+	if _, c := RandomWalkCommunities(New(0), 0); c != 0 {
+		t.Errorf("empty graph count = %d", c)
+	}
+}
+
+func TestCommunityMethodsAgreeOnCliquePair(t *testing.T) {
+	g := twoCliques(5)
+	for _, m := range CommunityMethods(2) {
+		label, count := m.Detect(g)
+		if len(label) != g.N {
+			t.Errorf("%s: label length %d", m.Name, len(label))
+			continue
+		}
+		if m.Name == "label-propagation" {
+			// Label propagation famously collapses clique pairs joined
+			// by a bridge; only require a valid partition of it.
+			if count < 1 {
+				t.Errorf("%s: count = %d", m.Name, count)
+			}
+			continue
+		}
+		if count < 2 {
+			t.Errorf("%s: %d communities, want >= 2", m.Name, count)
+			continue
+		}
+		if q := Modularity(g, label); q < 0.25 {
+			t.Errorf("%s: modularity %g below 0.25", m.Name, q)
+		}
+	}
+}
+
+func TestCommunityMethodsOnFactoryGraph(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 2, Levels: 2, Barriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromCircuit(f.Circuit)
+	for _, m := range CommunityMethods(14) {
+		if m.Name == "girvan-newman" || m.Name == "random-walk" {
+			continue // quadratic methods; exercised on small fixtures above
+		}
+		label, count := m.Detect(g)
+		if count < 2 {
+			t.Errorf("%s: found %d communities on a 14-module factory", m.Name, count)
+		}
+		seen := make(map[int]bool)
+		for _, l := range label {
+			if l < 0 || l >= count {
+				t.Fatalf("%s: label %d out of range [0,%d)", m.Name, l, count)
+			}
+			seen[l] = true
+		}
+		if len(seen) != count {
+			t.Errorf("%s: %d distinct labels for count %d", m.Name, len(seen), count)
+		}
+	}
+}
+
+func TestSortedCommunitySizes(t *testing.T) {
+	sizes := SortedCommunitySizes([]int{0, 1, 1, 2, 1}, 3)
+	if sizes[0] != 3 || sizes[1] != 1 || sizes[2] != 1 {
+		t.Errorf("sizes = %v, want [3 1 1]", sizes)
+	}
+}
+
+// Property: every detection method returns dense labels covering all
+// vertices on random connected graphs.
+func TestDetectionPropertyDenseLabels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 6
+		g := New(n)
+		// Random spanning tree keeps it connected; extra random edges.
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), 1)
+		}
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddEdge(a, b, 1+rng.Float64())
+			}
+		}
+		for _, m := range CommunityMethods(3) {
+			label, count := m.Detect(g)
+			if len(label) != n || count < 1 {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, l := range label {
+				if l < 0 || l >= count {
+					return false
+				}
+				seen[l] = true
+			}
+			if len(seen) != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total edge betweenness equals the total number of shortest
+// path pairs weighted by path length... more simply, on a tree every pair
+// contributes its full path, so the sum of edge betweenness equals the
+// sum of pairwise distances.
+func TestBetweennessPropertyTreeDistanceSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 3
+		g := New(n)
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+			g.AddEdge(v, parent[v], 1)
+		}
+		bc := EdgeBetweenness(g)
+		var total float64
+		for _, b := range bc {
+			total += b
+		}
+		// Pairwise distances via BFS from every vertex.
+		var distSum float64
+		for s := 0; s < n; s++ {
+			dist := bfsDist(g, s)
+			for v := s + 1; v < n; v++ {
+				distSum += float64(dist[v])
+			}
+		}
+		return math.Abs(total-distSum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bfsDist(g *Graph, s int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.Neighbors(v, func(u int, _ float64) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		})
+	}
+	return dist
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// FiedlerVector approximates the eigenvector of the weighted graph
+// Laplacian L = D − W belonging to its second-smallest eigenvalue (the
+// algebraic connectivity of Fiedler [36]). It power-iterates on the
+// spectrum-reversing operator B = cI − L with deflation against the
+// constant vector (L's kernel on a connected graph), so B's dominant
+// non-constant eigenvector is L's Fiedler vector. iters caps the
+// iterations (zero means 200). The result is normalized to unit length;
+// a zero vector is returned for graphs with fewer than two vertices.
+func FiedlerVector(g *Graph, iters int) []float64 {
+	n := g.N
+	v := make([]float64, n)
+	if n < 2 {
+		return v
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	// Gershgorin bound: every Laplacian eigenvalue is at most 2·max
+	// weighted degree, so c = bound + 1 keeps B positive semidefinite
+	// with reversed eigenvalue order.
+	var maxDeg float64
+	for u := 0; u < n; u++ {
+		if d := g.WeightedDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	c := 2*maxDeg + 1
+
+	// Deterministic, non-constant start vector.
+	for i := range v {
+		v[i] = math.Sin(float64(i + 1))
+	}
+	deflate(v)
+	normalize(v)
+
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// next = (cI − L) v = c·v − D·v + W·v
+		for i := range next {
+			next[i] = (c - g.WeightedDegree(i)) * v[i]
+		}
+		for _, e := range g.Edges {
+			next[e.U] += e.Weight * v[e.V]
+			next[e.V] += e.Weight * v[e.U]
+		}
+		deflate(next)
+		if !normalize(next) {
+			// Degenerate (all-constant) iterate: reseed.
+			for i := range next {
+				next[i] = math.Cos(float64(2*it + i))
+			}
+			deflate(next)
+			normalize(next)
+		}
+		v, next = next, v
+	}
+	return v
+}
+
+// deflate removes the component along the all-ones vector.
+func deflate(v []float64) {
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for i := range v {
+		v[i] -= mean
+	}
+}
+
+// normalize scales v to unit length, reporting false when v is ~zero.
+func normalize(v []float64) bool {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return false
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+	return true
+}
+
+// SpectralBisect splits the graph into two halves by the median of the
+// Fiedler vector [34,36], returning a 0/1 label per vertex. The split is
+// balanced: exactly floor(n/2) vertices land in side 0 (median ties break
+// by vertex id for determinism).
+func SpectralBisect(g *Graph) []int {
+	fv := FiedlerVector(g, 0)
+	idx := make([]int, g.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if fv[idx[a]] != fv[idx[b]] {
+			return fv[idx[a]] < fv[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	label := make([]int, g.N)
+	for rank, v := range idx {
+		if rank >= g.N/2 {
+			label[v] = 1
+		}
+	}
+	return label
+}
+
+// SpectralCommunities recursively bisects the graph until it has k parts
+// (or parts become singletons), splitting the currently largest part at
+// each step. It returns dense community ids. k < 2 returns the trivial
+// single community.
+func SpectralCommunities(g *Graph, k int) ([]int, int) {
+	label := make([]int, g.N)
+	if g.N == 0 {
+		return label, 0
+	}
+	if k < 2 || g.N < 2 {
+		return label, 1
+	}
+	count := 1
+	for count < k {
+		// Find the largest community.
+		size := make([]int, count)
+		for _, l := range label {
+			size[l]++
+		}
+		largest, largestSize := 0, 0
+		for c, s := range size {
+			if s > largestSize {
+				largest, largestSize = c, s
+			}
+		}
+		if largestSize < 2 {
+			break
+		}
+		var members []int
+		for v, l := range label {
+			if l == largest {
+				members = append(members, v)
+			}
+		}
+		sub, back := g.Subgraph(members)
+		half := SpectralBisect(sub)
+		for si, side := range half {
+			if side == 1 {
+				label[back[si]] = count
+			}
+		}
+		count++
+	}
+	out, n := densify(label)
+	return out, n
+}

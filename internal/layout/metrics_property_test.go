@@ -1,0 +1,103 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magicstate/internal/graph"
+)
+
+// randomFixture builds a random graph and a random placement of it with
+// headroom for translation.
+func randomFixture(seed int64) (*graph.Graph, *Placement, int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(10) + 4
+	g := graph.New(n)
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b, 1)
+		}
+	}
+	side := n + 4
+	p := NewPlacement(n, 2*side, 2*side)
+	tiles := rng.Perm(side * side)
+	for q := 0; q < n; q++ {
+		p.Set(q, Point{X: tiles[q] % side, Y: tiles[q] / side})
+	}
+	return g, p, side, side
+}
+
+// Property: all three congestion metrics are invariant under translating
+// the whole placement — they measure relative geometry only.
+func TestMetricsPropertyTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dxRaw, dyRaw uint8) bool {
+		g, p, w, h := randomFixture(seed)
+		dx, dy := int(dxRaw%4), int(dyRaw%4)
+		base := Measure(g, p)
+		moved := p.Clone()
+		for q := range moved.Pos {
+			moved.Pos[q].X += dx
+			moved.Pos[q].Y += dy
+		}
+		_ = w
+		_ = h
+		after := Measure(g, moved)
+		return base.Crossings == after.Crossings &&
+			math.Abs(base.AvgManhattan-after.AvgManhattan) < 1e-9 &&
+			math.Abs(base.AvgSpacing-after.AvgSpacing) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: metrics are invariant under reflecting the placement, and
+// never negative.
+func TestMetricsPropertyReflectionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		g, p, _, _ := randomFixture(seed)
+		base := Measure(g, p)
+		if base.Crossings < 0 || base.AvgManhattan < 0 || base.AvgSpacing < 0 {
+			return false
+		}
+		mirrored := p.Clone()
+		for q := range mirrored.Pos {
+			mirrored.Pos[q].X = (mirrored.W - 1) - mirrored.Pos[q].X
+		}
+		after := Measure(g, mirrored)
+		return base.Crossings == after.Crossings &&
+			math.Abs(base.AvgManhattan-after.AvgManhattan) < 1e-9 &&
+			math.Abs(base.AvgSpacing-after.AvgSpacing) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: spreading a placement by an integer scale factor never
+// creates new crossings and scales AvgManhattan exactly linearly.
+func TestMetricsPropertyScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		g, p, _, _ := randomFixture(seed)
+		base := Measure(g, p)
+		scaled := p.Clone()
+		scaled.W *= 2
+		scaled.H *= 2
+		for q := range scaled.Pos {
+			scaled.Pos[q].X *= 2
+			scaled.Pos[q].Y *= 2
+		}
+		after := Measure(g, scaled)
+		if math.Abs(after.AvgManhattan-2*base.AvgManhattan) > 1e-9 {
+			return false
+		}
+		// Segment intersection is projective: scaling preserves it.
+		return after.Crossings == base.Crossings
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package mesh is the cycle-accurate surface-code braid network simulator
+// (the substrate of §VIII.A, reimplementing the role of the MICRO'17 tool
+// [1]). Logical qubit tiles sit on a W x H grid; between and around tiles
+// runs a lattice of routing channel cells. A two-qubit gate claims a
+// connected path of free channel cells between its endpoint tiles for the
+// gate's whole duration; a multi-target CXX claims a connected tree
+// touching the control and every target. Braids may not overlap in space
+// and time: a gate that cannot claim a conflict-free path stalls until a
+// running braid releases its cells (oldest-first arbitration), exactly the
+// behaviour the paper's congestion results rest on.
+package mesh
+
+import "magicstate/internal/layout"
+
+// Lattice is the routing-cell grid derived from a tile grid: tile (x, y)
+// occupies cell (2x+1, 2y+1); every other cell is a routing channel.
+type Lattice struct {
+	TileW, TileH int
+	CW, CH       int // cell grid dimensions: 2W+1 x 2H+1
+	isTile       []bool
+}
+
+// NewLattice builds the lattice for a W x H tile grid.
+func NewLattice(tileW, tileH int) *Lattice {
+	l := &Lattice{TileW: tileW, TileH: tileH, CW: 2*tileW + 1, CH: 2*tileH + 1}
+	l.isTile = make([]bool, l.CW*l.CH)
+	for y := 0; y < tileH; y++ {
+		for x := 0; x < tileW; x++ {
+			l.isTile[l.CellIndex(2*x+1, 2*y+1)] = true
+		}
+	}
+	return l
+}
+
+// Cells returns the total cell count.
+func (l *Lattice) Cells() int { return l.CW * l.CH }
+
+// CellIndex returns the dense index of cell (cx, cy).
+func (l *Lattice) CellIndex(cx, cy int) int { return cy*l.CW + cx }
+
+// TileCell returns the cell index of tile pt.
+func (l *Lattice) TileCell(pt layout.Point) int {
+	return l.CellIndex(2*pt.X+1, 2*pt.Y+1)
+}
+
+// IsTile reports whether cell index ci is a logical qubit tile.
+func (l *Lattice) IsTile(ci int) bool { return l.isTile[ci] }
+
+// NeighborCells appends the 4-neighborhood of cell ci to buf and returns
+// it. Out-of-grid neighbors are omitted.
+func (l *Lattice) NeighborCells(ci int, buf []int) []int {
+	cx, cy := ci%l.CW, ci/l.CW
+	if cx > 0 {
+		buf = append(buf, ci-1)
+	}
+	if cx < l.CW-1 {
+		buf = append(buf, ci+1)
+	}
+	if cy > 0 {
+		buf = append(buf, ci-l.CW)
+	}
+	if cy < l.CH-1 {
+		buf = append(buf, ci+l.CW)
+	}
+	return buf
+}
+
+// TilePorts returns the channel cells adjacent to a tile (its braid entry
+// points).
+func (l *Lattice) TilePorts(pt layout.Point, buf []int) []int {
+	ci := l.TileCell(pt)
+	nb := l.NeighborCells(ci, nil)
+	for _, c := range nb {
+		if !l.isTile[c] {
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}

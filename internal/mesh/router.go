@@ -1,0 +1,268 @@
+package mesh
+
+// router finds conflict-free channel paths on a lattice with time-stamped
+// cell reservations. busyUntil[cell] holds the cycle at which the cell
+// becomes free; a cell is usable at time t when busyUntil[cell] <= t.
+//
+// Routing is confined to the bounding box of the braid's endpoints plus a
+// margin (the box field), reflecting the straight/L-shaped braid paths of
+// the paper's toolchain [1]: a braid does not wander across the machine to
+// dodge congestion, so crossing interaction edges genuinely serialize —
+// the behaviour behind the paper's Fig. 6 crossing/latency correlation.
+// Setting the box to the whole grid recovers fully adaptive routing.
+type router struct {
+	lat       *Lattice
+	busyUntil []int
+	box       cellBox
+	// BFS scratch, reused across calls; visited stamps avoid clearing.
+	stamp   int
+	visited []int
+	parent  []int
+	queue   []int
+	nbuf    []int
+}
+
+// cellBox is an inclusive cell-coordinate rectangle.
+type cellBox struct {
+	minX, minY, maxX, maxY int
+}
+
+func (b cellBox) contains(cx, cy int) bool {
+	return cx >= b.minX && cx <= b.maxX && cy >= b.minY && cy <= b.maxY
+}
+
+// boxAround returns the bounding box of the given cells expanded by margin,
+// clamped to the lattice.
+func (l *Lattice) boxAround(cells []int, margin int) cellBox {
+	b := cellBox{minX: 1 << 30, minY: 1 << 30, maxX: -1, maxY: -1}
+	for _, ci := range cells {
+		cx, cy := ci%l.CW, ci/l.CW
+		if cx < b.minX {
+			b.minX = cx
+		}
+		if cy < b.minY {
+			b.minY = cy
+		}
+		if cx > b.maxX {
+			b.maxX = cx
+		}
+		if cy > b.maxY {
+			b.maxY = cy
+		}
+	}
+	b.minX -= margin
+	b.minY -= margin
+	b.maxX += margin
+	b.maxY += margin
+	if b.minX < 0 {
+		b.minX = 0
+	}
+	if b.minY < 0 {
+		b.minY = 0
+	}
+	if b.maxX >= l.CW {
+		b.maxX = l.CW - 1
+	}
+	if b.maxY >= l.CH {
+		b.maxY = l.CH - 1
+	}
+	return b
+}
+
+// wholeGrid returns a box covering every cell.
+func (l *Lattice) wholeGrid() cellBox {
+	return cellBox{minX: 0, minY: 0, maxX: l.CW - 1, maxY: l.CH - 1}
+}
+
+func newRouter(lat *Lattice) *router {
+	n := lat.Cells()
+	return &router{
+		lat:       lat,
+		busyUntil: make([]int, n),
+		box:       lat.wholeGrid(),
+		visited:   make([]int, n),
+		parent:    make([]int, n),
+	}
+}
+
+func (r *router) free(ci, t int) bool {
+	if r.lat.isTile[ci] || r.busyUntil[ci] > t {
+		return false
+	}
+	return r.box.contains(ci%r.lat.CW, ci/r.lat.CW)
+}
+
+// route finds a shortest path of free channel cells at time t connecting
+// any cell of srcPorts to any cell of dstPorts (inclusive of both port
+// cells). It returns nil when no conflict-free path exists.
+func (r *router) route(srcPorts, dstPorts []int, t int) []int {
+	r.stamp++
+	r.queue = r.queue[:0]
+	goal := make(map[int]bool, len(dstPorts))
+	for _, c := range dstPorts {
+		if r.free(c, t) {
+			goal[c] = true
+		}
+	}
+	if len(goal) == 0 {
+		return nil
+	}
+	for _, c := range srcPorts {
+		if !r.free(c, t) || r.visited[c] == r.stamp {
+			continue
+		}
+		r.visited[c] = r.stamp
+		r.parent[c] = -1
+		if goal[c] {
+			return []int{c}
+		}
+		r.queue = append(r.queue, c)
+	}
+	for head := 0; head < len(r.queue); head++ {
+		cur := r.queue[head]
+		r.nbuf = r.nbuf[:0]
+		r.nbuf = r.lat.NeighborCells(cur, r.nbuf)
+		for _, nb := range r.nbuf {
+			if r.visited[nb] == r.stamp || !r.free(nb, t) {
+				continue
+			}
+			r.visited[nb] = r.stamp
+			r.parent[nb] = cur
+			if goal[nb] {
+				return r.walkBack(nb)
+			}
+			r.queue = append(r.queue, nb)
+		}
+	}
+	return nil
+}
+
+func (r *router) walkBack(end int) []int {
+	var path []int
+	for c := end; c != -1; c = r.parent[c] {
+		path = append(path, c)
+	}
+	return path
+}
+
+// routeTree connects all port groups with a connected set of free channel
+// cells at time t (a greedy Steiner tree: start from the first group,
+// repeatedly BFS from the current tree to the nearest unconnected group).
+// Returns nil when any group cannot be reached.
+func (r *router) routeTree(groups [][]int, t int) []int {
+	if len(groups) == 0 {
+		return nil
+	}
+	if len(groups) == 1 {
+		// Claim a single port cell so even degenerate "trees" occupy space.
+		for _, c := range groups[0] {
+			if r.free(c, t) {
+				return []int{c}
+			}
+		}
+		return nil
+	}
+	tree := make([]int, 0, 16)
+	inTree := make(map[int]bool)
+	connected := make([]bool, len(groups))
+	// Seed with the first reachable path between group 0 and any other
+	// group; then grow.
+	first := r.route(groups[0], groups[1], t)
+	if first == nil {
+		return nil
+	}
+	for _, c := range first {
+		if !inTree[c] {
+			inTree[c] = true
+			tree = append(tree, c)
+		}
+	}
+	connected[0], connected[1] = true, true
+	for {
+		remaining := -1
+		for gi, done := range connected {
+			if !done {
+				remaining = gi
+				break
+			}
+		}
+		if remaining == -1 {
+			return tree
+		}
+		// BFS from the whole tree to the nearest cell of any unconnected
+		// group; claim the path for that group.
+		path := r.routeFromSet(tree, groups, connected, t)
+		if path == nil {
+			return nil
+		}
+		gi := path.group
+		for _, c := range path.cells {
+			if !inTree[c] {
+				inTree[c] = true
+				tree = append(tree, c)
+			}
+		}
+		connected[gi] = true
+	}
+}
+
+type treePath struct {
+	cells []int
+	group int
+}
+
+// routeFromSet BFS-expands from every tree cell simultaneously and stops
+// at the first free port cell belonging to an unconnected group.
+func (r *router) routeFromSet(tree []int, groups [][]int, connected []bool, t int) *treePath {
+	r.stamp++
+	r.queue = r.queue[:0]
+	goalGroup := make(map[int]int)
+	for gi, done := range connected {
+		if done {
+			continue
+		}
+		for _, c := range groups[gi] {
+			if r.free(c, t) {
+				goalGroup[c] = gi
+			}
+		}
+	}
+	if len(goalGroup) == 0 {
+		return nil
+	}
+	for _, c := range tree {
+		if r.visited[c] == r.stamp {
+			continue
+		}
+		r.visited[c] = r.stamp
+		r.parent[c] = -1
+		if gi, ok := goalGroup[c]; ok {
+			return &treePath{cells: []int{c}, group: gi}
+		}
+		r.queue = append(r.queue, c)
+	}
+	for head := 0; head < len(r.queue); head++ {
+		cur := r.queue[head]
+		r.nbuf = r.nbuf[:0]
+		r.nbuf = r.lat.NeighborCells(cur, r.nbuf)
+		for _, nb := range r.nbuf {
+			if r.visited[nb] == r.stamp || !r.free(nb, t) {
+				continue
+			}
+			r.visited[nb] = r.stamp
+			r.parent[nb] = cur
+			if gi, ok := goalGroup[nb]; ok {
+				return &treePath{cells: r.walkBack(nb), group: gi}
+			}
+			r.queue = append(r.queue, nb)
+		}
+	}
+	return nil
+}
+
+// reserve marks cells busy until time until.
+func (r *router) reserve(cells []int, until int) {
+	for _, c := range cells {
+		r.busyUntil[c] = until
+	}
+}

@@ -1,0 +1,174 @@
+package mesh
+
+import "magicstate/internal/layout"
+
+// Dimension-ordered routing: a braid between two tiles follows one of two
+// rectilinear candidate paths (horizontal-then-vertical or
+// vertical-then-horizontal). If both are blocked the braid stalls. This is
+// the braid model of the paper's Fig. 1: crossing braids cannot execute
+// simultaneously and do not wander around each other.
+
+// walkXY visits the horizontal-first path between tiles src and dst
+// cell by cell without materializing it. visit returning false aborts the
+// walk; walkXY then returns false. Paths run on even (all-channel) rows
+// and columns, entering/leaving tiles through adjacent port cells.
+func (l *Lattice) walkXY(src, dst layout.Point, visit func(ci int) bool) bool {
+	sx, sy := 2*src.X+1, 2*src.Y+1
+	dx, dy := 2*dst.X+1, 2*dst.Y+1
+	// Horizontal highway row adjacent to src, biased toward dst.
+	ry := sy + 1
+	if dy < sy {
+		ry = sy - 1
+	}
+	// Vertical highway column adjacent to dst, biased toward src.
+	cx := dx + 1
+	if sx < dx {
+		cx = dx - 1
+	}
+	if !visit(l.CellIndex(sx, ry)) { // exit src vertically
+		return false
+	}
+	for x := sx; x != cx; x += sign(cx - sx) {
+		if !visit(l.CellIndex(x+sign(cx-sx), ry)) {
+			return false
+		}
+	}
+	for y := ry; y != dy; y += sign(dy - ry) {
+		if !visit(l.CellIndex(cx, y+sign(dy-ry))) {
+			return false
+		}
+	}
+	return true
+}
+
+// walkYX visits the vertical-first path between tiles src and dst.
+func (l *Lattice) walkYX(src, dst layout.Point, visit func(ci int) bool) bool {
+	sx, sy := 2*src.X+1, 2*src.Y+1
+	dx, dy := 2*dst.X+1, 2*dst.Y+1
+	// Vertical highway column adjacent to src, biased toward dst.
+	cx := sx + 1
+	if dx < sx {
+		cx = sx - 1
+	}
+	// Horizontal highway row adjacent to dst, biased toward src.
+	ry := dy + 1
+	if sy < dy {
+		ry = dy - 1
+	}
+	if !visit(l.CellIndex(cx, sy)) { // exit src horizontally
+		return false
+	}
+	for y := sy; y != ry; y += sign(ry - sy) {
+		if !visit(l.CellIndex(cx, y+sign(ry-sy))) {
+			return false
+		}
+	}
+	for x := cx; x != dx; x += sign(dx - cx) {
+		if !visit(l.CellIndex(x+sign(dx-cx), ry)) {
+			return false
+		}
+	}
+	return true
+}
+
+// xyPath materializes the horizontal-first path (used by tests and by
+// successful routing).
+func (l *Lattice) xyPath(src, dst layout.Point) []int {
+	var path []int
+	l.walkXY(src, dst, func(ci int) bool {
+		if len(path) == 0 || path[len(path)-1] != ci {
+			path = append(path, ci)
+		}
+		return true
+	})
+	return path
+}
+
+// yxPath materializes the vertical-first path.
+func (l *Lattice) yxPath(src, dst layout.Point) []int {
+	var path []int
+	l.walkYX(src, dst, func(ci int) bool {
+		if len(path) == 0 || path[len(path)-1] != ci {
+			path = append(path, ci)
+		}
+		return true
+	})
+	return path
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// checkWalk scans a candidate path without materializing it. It reports
+// whether the path is fully free at t and, when blocked, the busyUntil of
+// the first blocked cell (a sound retry bound).
+func (r *router) checkWalk(walk func(func(int) bool) bool, t int, claimed map[int]bool) (ok bool, clearAt int) {
+	ok = walk(func(ci int) bool {
+		if claimed != nil && claimed[ci] {
+			return true
+		}
+		if bu := r.busyUntil[ci]; bu > t {
+			clearAt = bu
+			return false
+		}
+		return true
+	})
+	return ok, clearAt
+}
+
+// routeXY tries the XY then the YX candidate between two tiles and
+// returns the first conflict-free one. When both are blocked it returns
+// nil and the earliest cycle at which either candidate could clear.
+func (r *router) routeXY(src, dst layout.Point, t int) ([]int, int) {
+	if ok, clear1 := r.checkWalk(func(v func(int) bool) bool { return r.lat.walkXY(src, dst, v) }, t, nil); ok {
+		return r.lat.xyPath(src, dst), 0
+	} else if ok2, clear2 := r.checkWalk(func(v func(int) bool) bool { return r.lat.walkYX(src, dst, v) }, t, nil); ok2 {
+		return r.lat.yxPath(src, dst), 0
+	} else {
+		if clear2 < clear1 {
+			clear1 = clear2
+		}
+		return nil, clear1
+	}
+}
+
+// routeXYTree builds a multi-target braid under dimension-ordered routing:
+// one arm per target, each an XY or YX candidate from the control, where
+// arms of the same gate may overlap one another (a braid tree is a single
+// topological defect). Returns the union of cells, or nil plus an
+// earliest-retry bound if any arm is blocked.
+func (r *router) routeXYTree(control layout.Point, targets []layout.Point, t int) ([]int, int) {
+	claimed := make(map[int]bool)
+	var union []int
+	for _, tgt := range targets {
+		var arm []int
+		ok, clear1 := r.checkWalk(func(v func(int) bool) bool { return r.lat.walkXY(control, tgt, v) }, t, claimed)
+		if ok {
+			arm = r.lat.xyPath(control, tgt)
+		} else {
+			ok2, clear2 := r.checkWalk(func(v func(int) bool) bool { return r.lat.walkYX(control, tgt, v) }, t, claimed)
+			if ok2 {
+				arm = r.lat.yxPath(control, tgt)
+			} else {
+				if clear2 < clear1 {
+					clear1 = clear2
+				}
+				return nil, clear1
+			}
+		}
+		for _, ci := range arm {
+			if !claimed[ci] {
+				claimed[ci] = true
+				union = append(union, ci)
+			}
+		}
+	}
+	return union, 0
+}

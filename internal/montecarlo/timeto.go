@@ -1,0 +1,76 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TimeSummary reports the sampled distribution of the time one factory
+// needs to accumulate a target number of distilled states, batch by
+// batch, partial yields included.
+type TimeSummary struct {
+	// Target is the requested state count.
+	Target int
+	// BatchLatency is the cycles charged per batch attempt.
+	BatchLatency int
+	// MeanBatches and MeanCycles are the sample means.
+	MeanBatches float64
+	MeanCycles  float64
+	// P50, P90 and P99 are cycle percentiles of the time-to-target.
+	P50, P90, P99 int
+}
+
+// TimeToStates samples how long one factory takes to deliver target
+// states when every batch costs batchLatency cycles and yields a sampled
+// (possibly partial) state count. It answers the throughput question the
+// analytic ExpectedRunsPerSuccess only bounds: tail latencies matter for
+// provisioning buffers (§IX), and partial yields shorten them
+// considerably relative to the all-or-nothing model.
+func TimeToStates(cfg Config, target, batchLatency int) (*TimeSummary, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if target < 1 {
+		return nil, fmt.Errorf("montecarlo: target must be >= 1, got %d", target)
+	}
+	if batchLatency < 1 {
+		return nil, fmt.Errorf("montecarlo: batch latency must be >= 1, got %d", batchLatency)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	errs := cfg.Errors.RoundErrors(cfg.Params)
+
+	// Guard against unreachable targets (zero yield forever): bound the
+	// batches per trial and fail if any trial exhausts the bound.
+	maxBatches := 1000 * (target/cfg.Params.Capacity() + 1)
+	batchCounts := make([]int, cfg.Trials)
+	for i := 0; i < cfg.Trials; i++ {
+		got, batches := 0, 0
+		for got < target {
+			if batches >= maxBatches {
+				return nil, fmt.Errorf("montecarlo: target %d unreachable within %d batches (yield ~ 0)",
+					target, maxBatches)
+			}
+			tr := sample(cfg, errs, rng)
+			got += tr.Outputs
+			batches++
+		}
+		batchCounts[i] = batches
+	}
+	sum := &TimeSummary{Target: target, BatchLatency: batchLatency}
+	cycles := make([]int, len(batchCounts))
+	var totalBatches float64
+	for i, b := range batchCounts {
+		totalBatches += float64(b)
+		cycles[i] = b * batchLatency
+	}
+	sort.Ints(cycles)
+	sum.MeanBatches = totalBatches / float64(len(batchCounts))
+	sum.MeanCycles = sum.MeanBatches * float64(batchLatency)
+	pct := func(p float64) int {
+		idx := int(p * float64(len(cycles)-1))
+		return cycles[idx]
+	}
+	sum.P50, sum.P90, sum.P99 = pct(0.50), pct(0.90), pct(0.99)
+	return sum, nil
+}

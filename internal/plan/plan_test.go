@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magicstate/internal/resource"
+)
+
+func baseReq() Requirements {
+	return Requirements{
+		TCount:      1e9,
+		ErrorBudget: 0.01,
+		DemandRate:  0.02,
+	}
+}
+
+func TestPlanMeetsTarget(t *testing.T) {
+	prov, err := Plan(baseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.OutputError > prov.TargetPerState {
+		t.Errorf("output error %g above target %g", prov.OutputError, prov.TargetPerState)
+	}
+	if prov.Factories < 1 || prov.BatchLatency <= 0 || prov.PhysicalQubits <= 0 {
+		t.Errorf("degenerate provision: %+v", prov)
+	}
+	if prov.SuccessProb <= 0 || prov.SuccessProb > 1 {
+		t.Errorf("success prob %g", prov.SuccessProb)
+	}
+	if prov.RawStates < prov.TCountLowerBound() {
+		t.Errorf("raw states %g below lossless floor %g", prov.RawStates, prov.TCountLowerBound())
+	}
+	if !strings.Contains(prov.String(), "factories") {
+		t.Error("String() missing farm size")
+	}
+}
+
+// TCountLowerBound is a test helper: raw states can never be fewer than
+// inputs/capacity per T gate.
+func (p *Provision) TCountLowerBound() float64 {
+	return 1e9 / float64(p.Params.Capacity()) * float64(p.Params.Inputs())
+}
+
+func TestPlanThroughputScaling(t *testing.T) {
+	slow := baseReq()
+	slow.DemandRate = 0.001
+	fast := baseReq()
+	fast.DemandRate = 0.1
+	ps, err := Plan(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Plan(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Factories <= ps.Factories {
+		t.Errorf("100x demand did not grow the farm: %d vs %d", pf.Factories, ps.Factories)
+	}
+}
+
+func TestPlanTighterBudgetNeedsMoreLevels(t *testing.T) {
+	// Targets of 1e-6 vs 1e-12 per state; tighter should need deeper
+	// recursion. (Much tighter targets, e.g. 1e-15, are correctly
+	// rejected: a 4-level factory's whole-batch success probability is
+	// effectively zero under the first-order all-modules-pass model.)
+	loose := baseReq()
+	loose.TCount = 1e4
+	tight := baseReq()
+	tight.TCount = 1e10
+	pl, err := Plan(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Plan(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.OutputError >= pl.TargetPerState {
+		t.Errorf("tight plan error %g not below loose target %g", pt.OutputError, pl.TargetPerState)
+	}
+	if pt.Params.Levels < pl.Params.Levels {
+		t.Errorf("tighter budget used fewer levels: %d vs %d", pt.Params.Levels, pl.Params.Levels)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := baseReq()
+	bad.TCount = 0
+	if _, err := Plan(bad); err == nil {
+		t.Error("TCount=0 accepted")
+	}
+	bad = baseReq()
+	bad.ErrorBudget = 2
+	if _, err := Plan(bad); err == nil {
+		t.Error("ErrorBudget=2 accepted")
+	}
+	bad = baseReq()
+	bad.DemandRate = 0
+	if _, err := Plan(bad); err == nil {
+		t.Error("DemandRate=0 accepted")
+	}
+	bad = baseReq()
+	bad.Headroom = 0.5
+	if _, err := Plan(bad); err == nil {
+		t.Error("Headroom<1 accepted")
+	}
+}
+
+func TestPlanUnreachableTarget(t *testing.T) {
+	req := baseReq()
+	// Inject error so hot that distillation diverges for every k.
+	req.Errors = resource.ErrorModel{PhysError: 1e-3, InjectError: 0.2, Threshold: 1e-2}
+	if _, err := Plan(req); err == nil {
+		t.Error("divergent working point produced a plan")
+	}
+}
+
+func TestPlanUsesCandidateKs(t *testing.T) {
+	req := baseReq()
+	req.CandidateKs = []int{2}
+	prov, err := Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Params.K != 2 {
+		t.Errorf("planner chose K=%d outside the candidate set", prov.Params.K)
+	}
+}
+
+// Property: for any sane demand and budget, the plan meets its error
+// target with a positive farm, and physical qubits scale with factories.
+func TestPlanPropertySound(t *testing.T) {
+	f := func(tExp, dExp uint8) bool {
+		tc := math10(int(tExp%8) + 4)     // 1e4 .. 1e11
+		dr := 1.0 / math10(int(dExp%3)+1) // 0.1 .. 0.001
+		req := Requirements{TCount: tc, ErrorBudget: 0.01, DemandRate: dr}
+		prov, err := Plan(req)
+		if err != nil {
+			return false
+		}
+		if prov.OutputError > prov.TargetPerState {
+			return false
+		}
+		return prov.Factories >= 1 && prov.PhysicalQubits >= prov.Factories
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func math10(e int) float64 {
+	r := 1.0
+	for i := 0; i < e; i++ {
+		r *= 10
+	}
+	return r
+}

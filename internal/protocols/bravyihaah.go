@@ -1,0 +1,45 @@
+package protocols
+
+import (
+	"fmt"
+
+	"magicstate/internal/bravyi"
+)
+
+// BravyiHaah is the (3k+8)→k block protocol of [18] the paper's factories
+// are built from (§II.F): output error (1+3k)ε², success probability
+// 1−(8+3k)ε to first order, 5k+13 logical qubits per module.
+type BravyiHaah struct {
+	K int
+}
+
+// NewBravyiHaah validates k and returns the protocol.
+func NewBravyiHaah(k int) (BravyiHaah, error) {
+	if k < 1 {
+		return BravyiHaah{}, fmt.Errorf("protocols: Bravyi-Haah k must be >= 1, got %d", k)
+	}
+	return BravyiHaah{K: k}, nil
+}
+
+// Name identifies the protocol with its k.
+func (p BravyiHaah) Name() string { return fmt.Sprintf("BH %d-to-%d", p.Inputs(), p.Outputs()) }
+
+// Inputs returns 3k+8.
+func (p BravyiHaah) Inputs() int { return 3*p.K + 8 }
+
+// Outputs returns k.
+func (p BravyiHaah) Outputs() int { return p.K }
+
+// Qubits returns 5k+13 (3k+8 input slots, k+5 ancillas, k outputs).
+func (p BravyiHaah) Qubits() int { return 5*p.K + 13 }
+
+// OutputError returns (1+3k)ε² (§II.F); delegated to bravyi.Params so the
+// protocol zoo and the factory generator cannot drift apart.
+func (p BravyiHaah) OutputError(eps float64) float64 {
+	return bravyi.Params{K: p.K, Levels: 1}.OutputError(eps)
+}
+
+// SuccessProbability returns 1−(8+3k)ε to first order (§II.F).
+func (p BravyiHaah) SuccessProbability(eps float64) float64 {
+	return clamp01(bravyi.Params{K: p.K, Levels: 1}.SuccessProbability(eps))
+}

@@ -1,0 +1,111 @@
+package protocols
+
+import (
+	"fmt"
+	"math"
+)
+
+// HaahHastings models the low-space-overhead protocol family of Haah,
+// Hastings, Poulin and Wecker [23], which the paper cites as the
+// asymptotic frontier of distillation efficiency. The family achieves an
+// input count per output that scales as O(log^γ(1/δ)) with γ < 1 for
+// target output error δ, at the price of deep, sequential circuits. No
+// explicit circuit is published at the granularity our mapper studies
+// need, so this is a rate-and-footprint model only (DESIGN.md §2 records
+// the substitution); it lets the planner chart where the asymptotic
+// protocols overtake the block codes.
+type HaahHastings struct {
+	// Gamma is the asymptotic exponent γ; [23] constructs protocols
+	// approaching γ → 0.678 and proves γ arbitrary close to 0 is
+	// possible with number-theoretic constructions.
+	Gamma float64
+	// C is the constant prefactor on the input count (fit from the
+	// concrete instances tabulated in [23]; their 17-to-1 style
+	// instances land near C = 2).
+	C float64
+	// Suppression is the per-run error exponent: output error ~ ε^Suppression.
+	Suppression int
+	// BlockK is the batch size: the protocols distill BlockK states at
+	// once on roughly 2·BlockK + O(log BlockK) qubits.
+	BlockK int
+	// eps memoizes the planner-supplied working point so Inputs() can
+	// report a concrete integer; set by AtWorkingPoint.
+	eps float64
+}
+
+// DefaultHaahHastings returns the concrete working instance used in the
+// comparison experiment: γ = 0.678, C = 2, cubic suppression, batches of 8.
+func DefaultHaahHastings() HaahHastings {
+	return HaahHastings{Gamma: 0.678, C: 2, Suppression: 3, BlockK: 8, eps: 1e-3}
+}
+
+// AtWorkingPoint returns a copy of the model evaluated at injected error
+// eps; Inputs() then reports the concrete input count the asymptotic rate
+// implies for one round at that error.
+func (h HaahHastings) AtWorkingPoint(eps float64) HaahHastings {
+	h.eps = eps
+	return h
+}
+
+// Name identifies the model with its exponent.
+func (h HaahHastings) Name() string { return fmt.Sprintf("HHPW gamma=%.3f", h.Gamma) }
+
+// Inputs returns the modeled raw-state count for one run at the working
+// point: k · C · log^γ(1/δ) where δ is the run's output error.
+func (h HaahHastings) Inputs() int {
+	delta := h.OutputError(h.workingEps())
+	perOut := h.C * math.Pow(math.Log(1/delta), h.Gamma)
+	n := int(math.Ceil(perOut * float64(h.BlockK)))
+	if n <= h.BlockK {
+		n = h.BlockK + 1
+	}
+	return n
+}
+
+// Outputs returns the batch size.
+func (h HaahHastings) Outputs() int { return h.blockK() }
+
+// Qubits returns the modeled footprint 2k + ceil(log2 k) + 3 from the
+// space-overhead analysis of [23].
+func (h HaahHastings) Qubits() int {
+	k := h.blockK()
+	logk := 0
+	for 1<<logk < k {
+		logk++
+	}
+	return 2*k + logk + 3
+}
+
+// OutputError returns ε^Suppression with the same style of constant
+// prefactor the block protocols carry (we use k+1, matching the parity
+// check count scaling in [23]).
+func (h HaahHastings) OutputError(eps float64) float64 {
+	return float64(h.blockK()+1) * math.Pow(eps, float64(h.suppression()))
+}
+
+// SuccessProbability returns 1 − n·ε to first order: every input carries
+// an independent chance of tripping a check.
+func (h HaahHastings) SuccessProbability(eps float64) float64 {
+	return clamp01(1 - float64(h.Inputs())*eps)
+}
+
+func (h HaahHastings) workingEps() float64 {
+	if h.eps <= 0 {
+		return 1e-3
+	}
+	return h.eps
+}
+
+func (h HaahHastings) blockK() int {
+	if h.BlockK < 1 {
+		return 1
+	}
+	return h.BlockK
+}
+
+func (h HaahHastings) suppression() int {
+	if h.Suppression < 2 {
+		return 2
+	}
+	return h.Suppression
+}

@@ -1,0 +1,146 @@
+// Package protocols models the magic-state distillation protocol zoo the
+// paper situates itself against (§III): the original Bravyi-Kitaev 15→1
+// protocol [22], the Bravyi-Haah (3k+8)→k block protocol [18] the paper
+// builds factories from, Jones-style multilevel recursion [21], and the
+// asymptotically input-optimal Haah-Hastings family [23]. Each protocol
+// reports its input/output ratio, logical-qubit footprint, error
+// suppression and first-order success probability, so the planner in
+// compare.go can answer the question the related-work section raises:
+// given an injected error rate and a target output fidelity, how many raw
+// states and how much space-time does each protocol family spend per
+// distilled state?
+package protocols
+
+import (
+	"fmt"
+	"math"
+)
+
+// Protocol is one n→k distillation unit.
+type Protocol interface {
+	// Name is a short human-readable identifier ("BK 15-to-1").
+	Name() string
+	// Inputs returns n, the number of raw (or previous-level) magic
+	// states one run consumes.
+	Inputs() int
+	// Outputs returns k, the number of distilled states one successful
+	// run produces.
+	Outputs() int
+	// Qubits returns the number of logical qubits a module of the
+	// protocol occupies while running (inputs + ancillas + outputs).
+	Qubits() int
+	// OutputError returns the error rate of output states when every
+	// input state carries error eps (leading order).
+	OutputError(eps float64) float64
+	// SuccessProbability returns the probability that the run's
+	// syndrome checks pass, to first order in eps. The result is
+	// clamped to [0, 1].
+	SuccessProbability(eps float64) float64
+}
+
+// clamp01 clips p into [0, 1]; first-order success expansions go negative
+// for large eps and the planner treats that as "never succeeds".
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Multilevel recursively composes a base protocol with itself L times in
+// the block-code style of §II.G and [21]: level r consumes the outputs of
+// level r−1, with each level-r module drawing at most one state from any
+// level-(r−1) module to avoid correlated errors. The composite behaves as
+// an Inputs()^L → Outputs()^L protocol.
+type Multilevel struct {
+	Base   Protocol
+	Levels int
+}
+
+// NewMultilevel validates and builds a multilevel composition.
+func NewMultilevel(base Protocol, levels int) (Multilevel, error) {
+	if base == nil {
+		return Multilevel{}, fmt.Errorf("protocols: nil base protocol")
+	}
+	if levels < 1 {
+		return Multilevel{}, fmt.Errorf("protocols: levels must be >= 1, got %d", levels)
+	}
+	return Multilevel{Base: base, Levels: levels}, nil
+}
+
+// Name identifies the composition.
+func (m Multilevel) Name() string {
+	return fmt.Sprintf("%s ^%d", m.Base.Name(), m.Levels)
+}
+
+// Inputs returns n^L.
+func (m Multilevel) Inputs() int { return ipow(m.Base.Inputs(), m.Levels) }
+
+// Outputs returns k^L.
+func (m Multilevel) Outputs() int { return ipow(m.Base.Outputs(), m.Levels) }
+
+// Qubits returns the footprint of the widest level. Level r runs
+// n^(L−r)·k^(r−1) modules of the base protocol concurrently (§II.G); the
+// first level is always the widest because n > k for any distillation
+// protocol worth running.
+func (m Multilevel) Qubits() int {
+	widest := 0
+	for r := 1; r <= m.Levels; r++ {
+		modules := ipow(m.Base.Inputs(), m.Levels-r) * ipow(m.Base.Outputs(), r-1)
+		if q := modules * m.Base.Qubits(); q > widest {
+			widest = q
+		}
+	}
+	return widest
+}
+
+// OutputError iterates the base suppression L times.
+func (m Multilevel) OutputError(eps float64) float64 {
+	for i := 0; i < m.Levels; i++ {
+		eps = m.Base.OutputError(eps)
+	}
+	return eps
+}
+
+// SuccessProbability multiplies the per-module success probabilities of
+// every module in every level, feeding each level the (improved) error
+// rate exiting the previous one.
+func (m Multilevel) SuccessProbability(eps float64) float64 {
+	p := 1.0
+	for r := 1; r <= m.Levels; r++ {
+		modules := ipow(m.Base.Inputs(), m.Levels-r) * ipow(m.Base.Outputs(), r-1)
+		pm := m.Base.SuccessProbability(eps)
+		p *= math.Pow(pm, float64(modules))
+		eps = m.Base.OutputError(eps)
+	}
+	return clamp01(p)
+}
+
+// RawPerOutput returns the number of raw input states consumed per
+// distilled output state, ignoring failures (the protocol's inverse rate
+// n^L / k^L).
+func RawPerOutput(p Protocol) float64 {
+	return float64(p.Inputs()) / float64(p.Outputs())
+}
+
+// ExpectedRawPerOutput folds in the first-order failure probability: a
+// failed run consumes its inputs and produces nothing, so the expected
+// raw cost per output is (n/k) / P_success.
+func ExpectedRawPerOutput(p Protocol, eps float64) float64 {
+	ps := p.SuccessProbability(eps)
+	if ps <= 0 {
+		return math.Inf(1)
+	}
+	return RawPerOutput(p) / ps
+}
+
+func ipow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

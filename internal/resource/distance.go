@@ -1,0 +1,90 @@
+package resource
+
+import (
+	"math"
+
+	"magicstate/internal/bravyi"
+)
+
+// ErrorModel captures the physical assumptions of §II.B: a logical qubit
+// of distance d fails with probability PL ~ d * (100 * p / th)^((d+1)/2)
+// where p is the physical error rate. Injected raw states carry error
+// InjectError.
+type ErrorModel struct {
+	PhysError   float64 // underlying physical gate error rate
+	InjectError float64 // error of freshly injected raw magic states
+	Threshold   float64 // surface code threshold (~1e-2)
+}
+
+// DefaultError returns the error model used throughout the evaluation:
+// p = 1e-3 (a factor 10 below threshold), injected state error 5e-3.
+func DefaultError() ErrorModel {
+	return ErrorModel{PhysError: 1e-3, InjectError: 5e-3, Threshold: 1e-2}
+}
+
+// LogicalError returns PL(d), the per-round failure probability of a
+// distance-d logical qubit (§II.B).
+func (em ErrorModel) LogicalError(d int) float64 {
+	if d < 1 {
+		return 1
+	}
+	base := em.PhysError / em.Threshold
+	return float64(d) * math.Pow(base, float64(d+1)/2)
+}
+
+// MinDistanceFor returns the smallest odd code distance whose logical
+// error is at or below target. Distances are odd by surface code
+// convention. The result is capped at 99.
+func (em ErrorModel) MinDistanceFor(target float64) int {
+	for d := 3; d < 100; d += 2 {
+		if em.LogicalError(d) <= target {
+			return d
+		}
+	}
+	return 99
+}
+
+// RoundErrors returns the magic-state error rate entering each round of an
+// L-level factory (index 0 = error entering round 1 = InjectError) plus
+// the final output error at index L. Each round squares the error up to
+// the (1+3k) prefactor (§II.F).
+func (em ErrorModel) RoundErrors(p bravyi.Params) []float64 {
+	errs := make([]float64, p.Levels+1)
+	errs[0] = em.InjectError
+	for r := 1; r <= p.Levels; r++ {
+		errs[r] = p.OutputError(errs[r-1])
+	}
+	return errs
+}
+
+// BalancedDistances implements the balanced-investment rule of [20]
+// (§II.G): round r's logical qubits use the smallest distance d_r whose
+// logical error does not dominate the state error flowing through that
+// round, so early rounds use cheap low-distance tiles and later rounds
+// scale up. The returned slice has one distance per round (index 0 =
+// round 1).
+func (em ErrorModel) BalancedDistances(p bravyi.Params) []int {
+	errs := em.RoundErrors(p)
+	ds := make([]int, p.Levels)
+	for r := 1; r <= p.Levels; r++ {
+		// The state error produced by round r sets the fidelity the
+		// hardware must preserve: a safety factor of 10 keeps the code's
+		// contribution subdominant.
+		target := errs[r] / 10
+		ds[r-1] = em.MinDistanceFor(target)
+	}
+	return ds
+}
+
+// PhysicalQubitsPerRound returns, for each round r, the physical qubit
+// count q_r = N_r * (5k+13) * d_r^2 where N_r is the module count of the
+// round (§II.G's q_r = m^(r-1) g^(l-r) (5k+13) d_r^2 with the module count
+// expanded).
+func (em ErrorModel) PhysicalQubitsPerRound(p bravyi.Params) []int {
+	ds := em.BalancedDistances(p)
+	qs := make([]int, p.Levels)
+	for r := 1; r <= p.Levels; r++ {
+		qs[r-1] = p.ModulesInRound(r) * p.QubitsPerModule() * ds[r-1] * ds[r-1]
+	}
+	return qs
+}

@@ -1,0 +1,88 @@
+package scaffold
+
+// AST node definitions for the supported Scaffold subset.
+
+// Program is a parsed translation unit: #define constants plus modules.
+// Execution starts at the module named "main".
+type Program struct {
+	Defines map[string]int
+	Modules map[string]*Module
+	Order   []string // module definition order, for deterministic dumps
+}
+
+// Module is a procedure over qbit-array parameters.
+type Module struct {
+	Name   string
+	Params []string // qbit* parameter names
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement: declaration, loop, gate application or call.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares a local qbit array: qbit name[size];
+type DeclStmt struct {
+	Name string
+	Size Expr
+	Line int
+}
+
+// ForStmt is a constant-bound loop: for (int i = lo; i < hi; i++) { body }.
+type ForStmt struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Line   int
+}
+
+// GateStmt applies a builtin gate: name(args);
+type GateStmt struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// CallStmt invokes a user module: name(args); every argument must be a
+// whole qbit array.
+type CallStmt struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*DeclStmt) stmt() {}
+func (*ForStmt) stmt()  {}
+func (*GateStmt) stmt() {}
+func (*CallStmt) stmt() {}
+
+// Expr is an integer or qbit-reference expression.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Value int }
+
+// VarExpr references a loop variable, #define constant, or qbit array by
+// name.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is array[subscript].
+type IndexExpr struct {
+	Array string
+	Sub   Expr
+	Line  int
+}
+
+// BinExpr is left op right for op in + - * /.
+type BinExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*NumExpr) expr()   {}
+func (*VarExpr) expr()   {}
+func (*IndexExpr) expr() {}
+func (*BinExpr) expr()   {}

@@ -1,0 +1,321 @@
+package scaffold
+
+import (
+	"fmt"
+
+	"magicstate/internal/circuit"
+)
+
+// Compile parses and elaborates src, returning the flat gate-level
+// circuit produced by executing main: loops unroll, module calls inline,
+// and every qbit declaration allocates fresh logical qubits.
+func Compile(src string) (*circuit.Circuit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// CompileProgram elaborates an already-parsed program.
+func CompileProgram(prog *Program) (*circuit.Circuit, error) {
+	e := &elaborator{prog: prog, circ: circuit.New(0)}
+	env := newEnv(nil)
+	for name, v := range prog.Defines {
+		env.setInt(name, v)
+	}
+	if err := e.runModule(prog.Modules["main"], nil, env, 0); err != nil {
+		return nil, err
+	}
+	if err := e.circ.Validate(); err != nil {
+		return nil, fmt.Errorf("scaffold: compiled circuit invalid: %w", err)
+	}
+	return e.circ, nil
+}
+
+// value is either an integer or a qubit array (a single qubit is a
+// one-element array).
+type value struct {
+	isInt bool
+	n     int
+	qs    []circuit.Qubit
+}
+
+type env struct {
+	parent *env
+	vars   map[string]value
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, vars: map[string]value{}} }
+
+func (e *env) lookup(name string) (value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return value{}, false
+}
+
+func (e *env) setInt(name string, n int)                 { e.vars[name] = value{isInt: true, n: n} }
+func (e *env) setQubits(name string, qs []circuit.Qubit) { e.vars[name] = value{qs: qs} }
+
+type elaborator struct {
+	prog *Program
+	circ *circuit.Circuit
+}
+
+const maxDepth = 64
+
+func (el *elaborator) runModule(m *Module, args []value, outer *env, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("scaffold: call depth exceeds %d (recursion?)", maxDepth)
+	}
+	env := newEnv(outer)
+	if len(args) != len(m.Params) {
+		return fmt.Errorf("scaffold: module %s expects %d args, got %d", m.Name, len(m.Params), len(args))
+	}
+	for i, p := range m.Params {
+		if args[i].isInt {
+			env.setInt(p, args[i].n)
+		} else {
+			env.setQubits(p, args[i].qs)
+		}
+	}
+	return el.runBlock(m.Body, env, depth)
+}
+
+func (el *elaborator) runBlock(stmts []Stmt, env *env, depth int) error {
+	for _, s := range stmts {
+		if err := el.runStmt(s, env, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (el *elaborator) runStmt(s Stmt, env *env, depth int) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		size, err := el.evalInt(st.Size, env)
+		if err != nil {
+			return err
+		}
+		if size < 0 {
+			return fmt.Errorf("scaffold:%d: negative array size %d", st.Line, size)
+		}
+		qs := make([]circuit.Qubit, size)
+		for i := range qs {
+			qs[i] = el.circ.AddQubit(fmt.Sprintf("%s_%d", st.Name, i))
+		}
+		env.setQubits(st.Name, qs)
+	case *ForStmt:
+		lo, err := el.evalInt(st.Lo, env)
+		if err != nil {
+			return err
+		}
+		hi, err := el.evalInt(st.Hi, env)
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			inner := newEnv(env)
+			inner.setInt(st.Var, i)
+			if err := el.runBlock(st.Body, inner, depth); err != nil {
+				return err
+			}
+		}
+	case *GateStmt:
+		return el.emitGate(st, env)
+	case *CallStmt:
+		m, ok := el.prog.Modules[st.Name]
+		if !ok {
+			return fmt.Errorf("scaffold:%d: unknown module %q", st.Line, st.Name)
+		}
+		args := make([]value, len(st.Args))
+		for i, a := range st.Args {
+			v, err := el.eval(a, env)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		return el.runModule(m, args, env, depth+1)
+	}
+	return nil
+}
+
+func (el *elaborator) emitGate(st *GateStmt, env *env) error {
+	qubitArg := func(i int) ([]circuit.Qubit, error) {
+		if i >= len(st.Args) {
+			return nil, fmt.Errorf("scaffold:%d: %s missing argument %d", st.Line, st.Name, i)
+		}
+		v, err := el.eval(st.Args[i], env)
+		if err != nil {
+			return nil, err
+		}
+		if v.isInt {
+			return nil, fmt.Errorf("scaffold:%d: %s argument %d is an int, want qubits", st.Line, st.Name, i)
+		}
+		return v.qs, nil
+	}
+	single := func(i int) (circuit.Qubit, error) {
+		qs, err := qubitArg(i)
+		if err != nil {
+			return 0, err
+		}
+		if len(qs) != 1 {
+			return 0, fmt.Errorf("scaffold:%d: %s argument %d must be a single qubit", st.Line, st.Name, i)
+		}
+		return qs[0], nil
+	}
+
+	switch st.Name {
+	case "H", "X", "Z", "S", "T", "PrepZ", "MeasX", "MeasZ":
+		qs, err := qubitArg(0)
+		if err != nil {
+			return err
+		}
+		kind := map[string]circuit.Kind{
+			"H": circuit.KindH, "X": circuit.KindX, "Z": circuit.KindZ,
+			"S": circuit.KindS, "T": circuit.KindT, "PrepZ": circuit.KindPrepZ,
+			"MeasX": circuit.KindMeasX, "MeasZ": circuit.KindMeasZ,
+		}[st.Name]
+		for _, q := range qs {
+			el.circ.Append(circuit.Gate{Kind: kind, Control: circuit.NoQubit, Targets: []circuit.Qubit{q}})
+		}
+	case "CNOT":
+		c, err := single(0)
+		if err != nil {
+			return err
+		}
+		t, err := single(1)
+		if err != nil {
+			return err
+		}
+		el.circ.CNOT(c, t)
+	case "CXX":
+		// CXX(ctrl, arr, n): single-control multi-target over the first n
+		// entries of arr that are not the control (the Fig. 5 calling
+		// convention, where CXX(anc[0], anc, K) targets anc[1..K]).
+		c, err := single(0)
+		if err != nil {
+			return err
+		}
+		arr, err := qubitArg(1)
+		if err != nil {
+			return err
+		}
+		n := len(arr)
+		if len(st.Args) >= 3 {
+			if n, err = el.evalInt(st.Args[2], env); err != nil {
+				return err
+			}
+		}
+		var targets []circuit.Qubit
+		for _, q := range arr {
+			if q == c {
+				continue
+			}
+			if len(targets) == n {
+				break
+			}
+			targets = append(targets, q)
+		}
+		if len(targets) < n {
+			return fmt.Errorf("scaffold:%d: CXX wants %d targets, array has %d", st.Line, n, len(targets))
+		}
+		el.circ.CXX(c, targets)
+	case "injectT", "injectTdag":
+		raw, err := single(0)
+		if err != nil {
+			return err
+		}
+		data, err := single(1)
+		if err != nil {
+			return err
+		}
+		if st.Name == "injectT" {
+			el.circ.InjectT(raw, data)
+		} else {
+			el.circ.InjectTdag(raw, data)
+		}
+	case "barrier":
+		var all []circuit.Qubit
+		for i := range st.Args {
+			qs, err := qubitArg(i)
+			if err != nil {
+				return err
+			}
+			all = append(all, qs...)
+		}
+		el.circ.Barrier(all)
+	default:
+		return fmt.Errorf("scaffold:%d: unsupported gate %q", st.Line, st.Name)
+	}
+	return nil
+}
+
+func (el *elaborator) evalInt(e Expr, env *env) (int, error) {
+	v, err := el.eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	if !v.isInt {
+		return 0, fmt.Errorf("scaffold: expected integer expression")
+	}
+	return v.n, nil
+}
+
+func (el *elaborator) eval(e Expr, env *env) (value, error) {
+	switch ex := e.(type) {
+	case *NumExpr:
+		return value{isInt: true, n: ex.Value}, nil
+	case *VarExpr:
+		v, ok := env.lookup(ex.Name)
+		if !ok {
+			return value{}, fmt.Errorf("scaffold:%d: undefined name %q", ex.Line, ex.Name)
+		}
+		return v, nil
+	case *IndexExpr:
+		av, ok := env.lookup(ex.Array)
+		if !ok {
+			return value{}, fmt.Errorf("scaffold:%d: undefined array %q", ex.Line, ex.Array)
+		}
+		if av.isInt {
+			return value{}, fmt.Errorf("scaffold:%d: %q is not a qbit array", ex.Line, ex.Array)
+		}
+		idx, err := el.evalInt(ex.Sub, env)
+		if err != nil {
+			return value{}, err
+		}
+		if idx < 0 || idx >= len(av.qs) {
+			return value{}, fmt.Errorf("scaffold:%d: index %d out of range for %q (len %d)",
+				ex.Line, idx, ex.Array, len(av.qs))
+		}
+		return value{qs: av.qs[idx : idx+1]}, nil
+	case *BinExpr:
+		l, err := el.evalInt(ex.Left, env)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := el.evalInt(ex.Right, env)
+		if err != nil {
+			return value{}, err
+		}
+		switch ex.Op {
+		case "+":
+			return value{isInt: true, n: l + r}, nil
+		case "-":
+			return value{isInt: true, n: l - r}, nil
+		case "*":
+			return value{isInt: true, n: l * r}, nil
+		case "/":
+			if r == 0 {
+				return value{}, fmt.Errorf("scaffold: division by zero")
+			}
+			return value{isInt: true, n: l / r}, nil
+		}
+	}
+	return value{}, fmt.Errorf("scaffold: unsupported expression")
+}

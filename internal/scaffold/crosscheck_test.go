@@ -1,0 +1,69 @@
+package scaffold
+
+import (
+	"testing"
+
+	"magicstate/internal/circuit"
+	"magicstate/internal/circuits"
+)
+
+// ghzSrc is an n-qubit GHZ preparation in the Fig. 5 language subset.
+const ghzSrc = `
+#define N 7
+
+module main ( ) {
+  qbit q[N];
+  H ( q[0] );
+  for (int i = 0; i < N - 1; i++) {
+    CNOT ( q[i] , q[i + 1] );
+  }
+}
+`
+
+// TestCompileGHZMatchesGenerator cross-checks the Scaffold front end
+// against the programmatic workload generator gate-for-gate, the same
+// style of check the Fig. 5 listing gets against internal/bravyi.
+func TestCompileGHZMatchesGenerator(t *testing.T) {
+	compiled, err := Compile(ghzSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated, err := circuits.GHZ(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.NumQubits != generated.NumQubits {
+		t.Fatalf("qubits: compiled %d, generated %d", compiled.NumQubits, generated.NumQubits)
+	}
+	if len(compiled.Gates) != len(generated.Gates) {
+		t.Fatalf("gates: compiled %d, generated %d", len(compiled.Gates), len(generated.Gates))
+	}
+	for i := range compiled.Gates {
+		cg, gg := &compiled.Gates[i], &generated.Gates[i]
+		if cg.Kind != gg.Kind || cg.Control != gg.Control {
+			t.Fatalf("gate %d: compiled %s, generated %s", i, cg.String(), gg.String())
+		}
+		if len(cg.Targets) != len(gg.Targets) {
+			t.Fatalf("gate %d: target arity differs", i)
+		}
+		for j := range cg.Targets {
+			if cg.Targets[j] != gg.Targets[j] {
+				t.Fatalf("gate %d: compiled %s, generated %s", i, cg.String(), gg.String())
+			}
+		}
+	}
+}
+
+// TestCompileGHZKinds double-checks the compiled gate census.
+func TestCompileGHZKinds(t *testing.T) {
+	compiled, err := Compile(ghzSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := compiled.CountKind(circuit.KindH); got != 1 {
+		t.Errorf("h count = %d, want 1", got)
+	}
+	if got := compiled.CountKind(circuit.KindCNOT); got != 6 {
+		t.Errorf("cnot count = %d, want 6", got)
+	}
+}

@@ -1,0 +1,120 @@
+// Package scaffold compiles the subset of the Scaffold quantum
+// programming language [30] that the paper's Fig. 5 listing uses into the
+// circuit IR: #define constants, module definitions with qbit* array
+// parameters, qbit array declarations, constant-bound for loops, integer
+// arithmetic in indices, gate statements (H, X, Z, S, T, CNOT, CXX,
+// injectT, injectTdag, MeasX, MeasZ, PrepZ, barrier) and module calls.
+// The paper compiles each factory configuration from Scaffold source
+// (§VIII.A); this front-end lets the repository do the same and
+// cross-check the programmatic generator against the published listing.
+package scaffold
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/double character punctuation: ( ) { } [ ] ; , * = < > + - / ++ etc.
+	tokHash  // #define
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes source, stripping // and /* */ comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("scaffold:%d: unterminated block comment", l.line)
+			}
+			l.pos += 2
+		case c == '#':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsLetter(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokHash, string(l.src[start:l.pos]))
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tokIdent, string(l.src[start:l.pos]))
+		case unicode.IsDigit(c):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokNumber, string(l.src[start:l.pos]))
+		case strings.ContainsRune("(){}[];,*=<>+-/!", c):
+			// Two-character operators first.
+			if two := string(l.src[l.pos:min(l.pos+2, len(l.src))]); two == "++" || two == "--" || two == "<=" || two == ">=" || two == "==" || two == "!=" {
+				l.emit(tokPunct, two)
+				l.pos += 2
+				break
+			}
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("scaffold:%d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) rune {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+package scaffold
+
+import "fmt"
+
+// Parse turns Scaffold source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Defines: map[string]int{}, Modules: map[string]*Module{}}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokHash, "#define"):
+			p.next()
+			name := p.expect(tokIdent).text
+			valTok := p.expect(tokNumber)
+			val := 0
+			fmt.Sscanf(valTok.text, "%d", &val)
+			prog.Defines[name] = val
+		case p.at(tokIdent, "module"):
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Modules[m.Name]; dup {
+				return nil, fmt.Errorf("scaffold:%d: module %s redefined", m.Line, m.Name)
+			}
+			prog.Modules[m.Name] = m
+			prog.Order = append(prog.Order, m.Name)
+		default:
+			return nil, fmt.Errorf("scaffold:%d: expected #define or module, got %q", p.cur().line, p.cur().text)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	if _, ok := prog.Modules["main"]; !ok {
+		return nil, fmt.Errorf("scaffold: no main module")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) token {
+	if p.cur().kind != kind {
+		p.fail("expected token kind %d, got %q", kind, p.cur().text)
+		return token{}
+	}
+	return p.next()
+}
+
+func (p *parser) expectPunct(text string) {
+	if !p.accept(tokPunct, text) {
+		p.fail("expected %q, got %q", text, p.cur().text)
+	}
+}
+
+func (p *parser) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf("scaffold:%d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	}
+	// Skip to EOF to stop parsing.
+	p.pos = len(p.toks) - 1
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	line := p.cur().line
+	p.next() // module
+	name := p.expect(tokIdent).text
+	p.expectPunct("(")
+	m := &Module{Name: name, Line: line}
+	for !p.at(tokPunct, ")") && p.err == nil {
+		if len(m.Params) > 0 {
+			p.expectPunct(",")
+		}
+		if p.at(tokIdent, "qbit") {
+			p.next()
+			p.accept(tokPunct, "*")
+		}
+		m.Params = append(m.Params, p.expect(tokIdent).text)
+	}
+	p.expectPunct(")")
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, p.err
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	p.expectPunct("{")
+	var stmts []Stmt
+	for !p.at(tokPunct, "}") && p.err == nil {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	p.expectPunct("}")
+	return stmts, p.err
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokIdent, "qbit"):
+		line := p.cur().line
+		p.next()
+		name := p.expect(tokIdent).text
+		p.expectPunct("[")
+		size := p.parseExpr()
+		p.expectPunct("]")
+		p.expectPunct(";")
+		return &DeclStmt{Name: name, Size: size, Line: line}, p.err
+	case p.at(tokIdent, "for"):
+		return p.parseFor()
+	case p.cur().kind == tokIdent:
+		line := p.cur().line
+		name := p.next().text
+		p.expectPunct("(")
+		var args []Expr
+		for !p.at(tokPunct, ")") && p.err == nil {
+			if len(args) > 0 {
+				p.expectPunct(",")
+			}
+			args = append(args, p.parseExpr())
+		}
+		p.expectPunct(")")
+		p.expectPunct(";")
+		if isBuiltinGate(name) {
+			return &GateStmt{Name: name, Args: args, Line: line}, p.err
+		}
+		return &CallStmt{Name: name, Args: args, Line: line}, p.err
+	case p.accept(tokPunct, ";"):
+		return nil, nil
+	}
+	p.fail("unexpected token %q", p.cur().text)
+	return nil, p.err
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.cur().line
+	p.next() // for
+	p.expectPunct("(")
+	if !p.accept(tokIdent, "int") {
+		p.fail("for loops must declare an int induction variable")
+	}
+	v := p.expect(tokIdent).text
+	p.expectPunct("=")
+	lo := p.parseExpr()
+	p.expectPunct(";")
+	if p.expect(tokIdent).text != v {
+		p.fail("for condition must test the induction variable")
+	}
+	p.expectPunct("<")
+	hi := p.parseExpr()
+	p.expectPunct(";")
+	if p.expect(tokIdent).text != v {
+		p.fail("for increment must bump the induction variable")
+	}
+	p.expectPunct("++")
+	p.expectPunct(")")
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: v, Lo: lo, Hi: hi, Body: body, Line: line}, p.err
+}
+
+// parseExpr parses + and - over terms.
+func (p *parser) parseExpr() Expr {
+	left := p.parseTerm()
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.next().text
+		right := p.parseTerm()
+		left = &BinExpr{Op: op, Left: left, Right: right}
+	}
+	return left
+}
+
+// parseTerm parses * and / over factors.
+func (p *parser) parseTerm() Expr {
+	left := p.parseFactor()
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") {
+		op := p.next().text
+		right := p.parseFactor()
+		left = &BinExpr{Op: op, Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *parser) parseFactor() Expr {
+	switch {
+	case p.cur().kind == tokNumber:
+		t := p.next()
+		v := 0
+		fmt.Sscanf(t.text, "%d", &v)
+		return &NumExpr{Value: v}
+	case p.cur().kind == tokIdent:
+		t := p.next()
+		if p.accept(tokPunct, "[") {
+			sub := p.parseExpr()
+			p.expectPunct("]")
+			return &IndexExpr{Array: t.text, Sub: sub, Line: t.line}
+		}
+		return &VarExpr{Name: t.text, Line: t.line}
+	case p.accept(tokPunct, "("):
+		e := p.parseExpr()
+		p.expectPunct(")")
+		return e
+	}
+	p.fail("unexpected token %q in expression", p.cur().text)
+	return &NumExpr{}
+}
+
+func isBuiltinGate(name string) bool {
+	switch name {
+	case "H", "X", "Z", "S", "T", "CNOT", "CXX",
+		"injectT", "injectTdag", "MeasX", "MeasZ", "PrepZ", "barrier":
+		return true
+	}
+	return false
+}

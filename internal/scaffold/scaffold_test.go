@@ -1,0 +1,214 @@
+package scaffold
+
+import (
+	"strings"
+	"testing"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/circuit"
+)
+
+// fig5 is the paper's Fig. 5 listing (single-level Bravyi-Haah circuit,
+// K = 8), with the tail's raw-state indexing fixed to consume each input
+// exactly once — the same correction the programmatic generator applies
+// (see internal/bravyi/module.go).
+const fig5 = `
+// Bravyi-Haah Distillation Circuit with K=8, L=1
+#define K 8
+
+module tail(qbit* raw_states, qbit* anc, qbit* out) {
+  for (int i = 0; i < K; i++) {
+    CNOT ( out[i] , anc[5 + i] );
+    injectT ( raw_states[2 * K + 8 + i] , anc[5 + i] );
+    CNOT ( anc[5 + i] , anc[4 + i] );
+    CNOT ( anc[3 + i] , anc[5 + i] );
+    CNOT ( anc[4 + i] , anc[3 + i] );
+  }
+}
+
+module BravyiHaahModule(qbit* raw_states, qbit* anc, qbit* out) {
+  H ( anc[0] );
+  H ( anc[1] );
+  H ( anc[2] );
+  for (int i = 0; i < K; i++)  { H ( out[i] ); }
+  CNOT ( anc[1] , anc[3] );
+  CNOT ( anc[2] , anc[4] );
+  CXX ( anc[0] , anc , K );
+  tail( raw_states , anc , out );
+  for (int i = 1; i < K + 5; i++) { injectT(raw_states[2 * i - 2], anc[i]); }
+  CXX ( anc[0] , anc , K + 4 );
+  for (int i = 1; i < K + 5; i++) { injectTdag(raw_states[2 * i - 1], anc[i]); }
+  MeasX ( anc );
+}
+
+module block_code(qbit* raw, qbit* out, qbit* anc) {
+  BravyiHaahModule( raw , anc , out );
+}
+
+module main ( ) {
+  qbit raw_states[3 * K + 8];
+  qbit out[K];
+  qbit anc[K + 5];
+  block_code( raw_states , out , anc );
+}
+`
+
+func TestCompileFig5(t *testing.T) {
+	c, err := Compile(fig5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 53 {
+		t.Errorf("qubits = %d, want 53 (5k+13 at k=8)", c.NumQubits)
+	}
+	// The compiled listing must match the programmatic generator's gate
+	// census exactly.
+	f, err := bravyi.Build(bravyi.Params{K: 8, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []circuit.Kind{
+		circuit.KindH, circuit.KindCNOT, circuit.KindCXX,
+		circuit.KindInjectT, circuit.KindInjectTdag, circuit.KindMeasX,
+	} {
+		if got, want := c.CountKind(k), f.Circuit.CountKind(k); got != want {
+			t.Errorf("%v: compiled %d, generator %d", k, got, want)
+		}
+	}
+	if len(c.Gates) != len(f.Circuit.Gates) {
+		t.Errorf("gate count: compiled %d, generator %d", len(c.Gates), len(f.Circuit.Gates))
+	}
+}
+
+func TestCompileLoopsAndArithmetic(t *testing.T) {
+	src := `
+#define N 3
+module main() {
+  qbit q[2 * N];
+  for (int i = 0; i < N; i++) {
+    H(q[2 * i]);
+    CNOT(q[2 * i], q[2 * i + 1]);
+  }
+}`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 6 || c.CountKind(circuit.KindH) != 3 || c.CountKind(circuit.KindCNOT) != 3 {
+		t.Errorf("unexpected shape: %s", c.String())
+	}
+}
+
+func TestCompileNestedLoopsAndCalls(t *testing.T) {
+	src := `
+module bell(qbit* a, qbit* b) {
+  H(a[0]);
+  CNOT(a[0], b[0]);
+}
+module main() {
+  qbit x[4];
+  qbit y[4];
+  for (int i = 0; i < 2; i++) {
+    for (int j = 0; j < 2; j++) {
+      H(x[2 * i + j]);
+    }
+  }
+  bell(x, y);
+}`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(circuit.KindH) != 5 || c.CountKind(circuit.KindCNOT) != 1 {
+		t.Errorf("unexpected census: %s", c.String())
+	}
+}
+
+func TestCompileWholeArrayGatesAndBarrier(t *testing.T) {
+	src := `
+module main() {
+  qbit q[3];
+  H(q);
+  barrier(q);
+  MeasX(q);
+}`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(circuit.KindH) != 3 || c.CountKind(circuit.KindMeasX) != 3 || c.CountKind(circuit.KindBarrier) != 1 {
+		t.Errorf("unexpected census: %s", c.String())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no main", `module foo() { }`, "no main"},
+		{"undefined name", `module main() { H(q[0]); }`, "undefined"},
+		{"index out of range", `module main() { qbit q[1]; H(q[3]); }`, "out of range"},
+		{"unknown module", `module main() { qbit q[1]; frob(q); }`, "unknown module"},
+		{"unknown gate as call", `module main() { qbit q[2]; CCNOT(q); }`, "unknown module"},
+		{"int where qubit", `module main() { qbit q[1]; H(3); }`, "want qubits"},
+		{"bad token", `module main() { qbit q[1]; H(q[0]) @ }`, "unexpected character"},
+		{"redefined module", `module main() {} module main() {}`, "redefined"},
+		{"cnot arity", `module main() { qbit q[3]; CNOT(q, q); }`, "single qubit"},
+		{"division by zero", `#define Z 0
+module main() { qbit q[1 / Z]; }`, "division by zero"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCompileRecursionGuard(t *testing.T) {
+	src := `
+module loop(qbit* q) { loop(q); }
+module main() { qbit q[1]; loop(q); }`
+	_, err := Compile(src)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("recursion should trip the depth guard, got %v", err)
+	}
+}
+
+func TestCommentsAndDefines(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+#define A 2
+#define B 3
+module main() {
+  qbit q[A + B]; // five qubits
+  H(q[A * B - 6]);
+}`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Errorf("qubits = %d, want 5", c.NumQubits)
+	}
+}
+
+func TestParseForLoopValidation(t *testing.T) {
+	for _, src := range []string{
+		`module main() { for (i = 0; i < 3; i++) { } }`,     // missing int
+		`module main() { for (int i = 0; j < 3; i++) { } }`, // wrong condition var
+		`module main() { for (int i = 0; i < 3; j++) { } }`, // wrong increment var
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("malformed for loop accepted: %s", src)
+		}
+	}
+}
+
+func TestLexerUnterminatedComment(t *testing.T) {
+	if _, err := lex("/* oops"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+}

@@ -1,0 +1,213 @@
+// Package sched implements the instruction-level scheduling analyses of
+// §V: ASAP/ALAP schedules over the hazard dependency DAG, slack and
+// critical-path statistics, commutativity-aware gate reordering (CNOTs
+// sharing a control commute, as do disjoint gates), and barrier insertion.
+// The braid simulator performs its own list scheduling at execution time;
+// this package supplies the compile-time views the paper's scheduling
+// discussion draws on (gate mobility across rounds, the effect of
+// barriers on mobility, and schedule-level parallelism profiles).
+package sched
+
+import (
+	"magicstate/internal/circuit"
+	"magicstate/internal/resource"
+)
+
+// Schedule is a compile-time timing assignment: Start[i] is the cycle
+// gate i would begin under unlimited routing bandwidth.
+type Schedule struct {
+	Start  []int
+	Finish []int
+	// Makespan is the completion time of the last gate.
+	Makespan int
+}
+
+// ASAP returns the as-soon-as-possible schedule of c under cost model cm:
+// every gate starts the moment its last dependency finishes.
+func ASAP(c *circuit.Circuit, cm resource.CostModel) *Schedule {
+	d := circuit.Deps(c)
+	n := len(c.Gates)
+	s := &Schedule{Start: make([]int, n), Finish: make([]int, n)}
+	for i := 0; i < n; i++ {
+		dur := cm.GateCycles(&c.Gates[i])
+		s.Finish[i] = s.Start[i] + dur
+		if s.Finish[i] > s.Makespan {
+			s.Makespan = s.Finish[i]
+		}
+		for _, succ := range d.Succ[i] {
+			if s.Finish[i] > s.Start[succ] {
+				s.Start[succ] = s.Finish[i]
+			}
+		}
+	}
+	return s
+}
+
+// ALAP returns the as-late-as-possible schedule with the same makespan as
+// ASAP; the difference between ALAP and ASAP start times is each gate's
+// slack (its scheduling mobility, §V.A).
+func ALAP(c *circuit.Circuit, cm resource.CostModel) *Schedule {
+	d := circuit.Deps(c)
+	n := len(c.Gates)
+	asap := ASAP(c, cm)
+	s := &Schedule{Start: make([]int, n), Finish: make([]int, n), Makespan: asap.Makespan}
+	for i := 0; i < n; i++ {
+		s.Finish[i] = asap.Makespan
+	}
+	for i := n - 1; i >= 0; i-- {
+		dur := cm.GateCycles(&c.Gates[i])
+		for _, succ := range d.Succ[i] {
+			if s.Start[succ] < s.Finish[i] {
+				s.Finish[i] = s.Start[succ]
+			}
+		}
+		s.Start[i] = s.Finish[i] - dur
+	}
+	return s
+}
+
+// Slack returns per-gate mobility: ALAP start minus ASAP start. Gates
+// with zero slack are on the critical path.
+func Slack(c *circuit.Circuit, cm resource.CostModel) []int {
+	asap := ASAP(c, cm)
+	alap := ALAP(c, cm)
+	out := make([]int, len(c.Gates))
+	for i := range out {
+		out[i] = alap.Start[i] - asap.Start[i]
+	}
+	return out
+}
+
+// ParallelismProfile returns, for each ASAP level, how many gates occupy
+// it — the schedule's width profile. Useful for judging how much routing
+// bandwidth a mapping must supply.
+func ParallelismProfile(c *circuit.Circuit) []int {
+	levels := circuit.Deps(c).Levels()
+	max := 0
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	prof := make([]int, max+1)
+	for _, l := range levels {
+		prof[l]++
+	}
+	return prof
+}
+
+// Commute reports whether adjacent gates a and b may be exchanged without
+// changing circuit semantics. Disjoint gates always commute. Two CNOT-like
+// gates sharing only their controls commute (control-control overlap is
+// diagonal in the same basis); sharing a target with a target also
+// commutes for pure CNOTs. Everything else is conservatively ordered.
+// Barriers never commute with anything they fence.
+func Commute(a, b *circuit.Gate) bool {
+	if a.Kind == circuit.KindBarrier || b.Kind == circuit.KindBarrier {
+		return false
+	}
+	shared := sharedOperands(a, b)
+	if len(shared) == 0 {
+		return true
+	}
+	if !isCNOTLike(a.Kind) || !isCNOTLike(b.Kind) {
+		return false
+	}
+	// Every shared qubit must play the same role (control/control or
+	// target/target) in both gates.
+	for _, q := range shared {
+		ra, rb := roleOf(a, q), roleOf(b, q)
+		if ra != rb || ra == roleMixed {
+			return false
+		}
+	}
+	return true
+}
+
+type role int
+
+const (
+	roleControl role = iota
+	roleTarget
+	roleMixed
+)
+
+func isCNOTLike(k circuit.Kind) bool {
+	return k == circuit.KindCNOT || k == circuit.KindCXX
+}
+
+func roleOf(g *circuit.Gate, q circuit.Qubit) role {
+	if g.Control == q {
+		return roleControl
+	}
+	for _, t := range g.Targets {
+		if t == q {
+			return roleTarget
+		}
+	}
+	return roleMixed
+}
+
+func sharedOperands(a, b *circuit.Gate) []circuit.Qubit {
+	set := make(map[circuit.Qubit]bool)
+	for _, q := range a.Operands() {
+		set[q] = true
+	}
+	var out []circuit.Qubit
+	for _, q := range b.Operands() {
+		if set[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// SiftEarlier moves each gate as early in program order as commutation
+// allows (a bubble pass repeated to fixpoint, capped for safety). The
+// hazard DAG the simulator builds from the reordered program admits more
+// parallelism when commuting gates were previously order-serialized. It
+// returns a new circuit; the input is untouched.
+func SiftEarlier(c *circuit.Circuit) *circuit.Circuit {
+	out := c.Clone()
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for i := 1; i < len(out.Gates); i++ {
+			j := i
+			for j > 0 && Commute(&out.Gates[j-1], &out.Gates[j]) && wouldUnblock(out, j) {
+				out.Gates[j-1], out.Gates[j] = out.Gates[j], out.Gates[j-1]
+				j--
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// wouldUnblock limits sifting to exchanges that can actually shorten the
+// hazard chain: swapping two gates that share no operands never changes
+// the DAG, so skip those to keep the pass cheap and stable.
+func wouldUnblock(c *circuit.Circuit, j int) bool {
+	return len(sharedOperands(&c.Gates[j-1], &c.Gates[j])) > 0
+}
+
+// InsertRoundBarriers returns a copy of c with a barrier over qs after
+// every gate index in cutpoints (ascending). It is the generic form of
+// the generator's built-in round fencing, usable on arbitrary circuits.
+func InsertRoundBarriers(c *circuit.Circuit, cutpoints []int, qs []circuit.Qubit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	out.Names = append([]string(nil), c.Names...)
+	next := 0
+	for i := range c.Gates {
+		g := c.Gates[i]
+		g.Targets = append([]circuit.Qubit(nil), g.Targets...)
+		out.Append(g)
+		if next < len(cutpoints) && cutpoints[next] == i {
+			out.Barrier(qs)
+			next++
+		}
+	}
+	return out
+}

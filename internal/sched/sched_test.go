@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"testing"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/circuit"
+	"magicstate/internal/resource"
+)
+
+func cm() resource.CostModel { return resource.DefaultCost() }
+
+func TestASAPChain(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.MeasX(1)
+	s := ASAP(c, cm())
+	m := cm()
+	if s.Start[0] != 0 || s.Start[1] != m.H || s.Start[2] != m.H+m.CNOT {
+		t.Errorf("starts = %v", s.Start)
+	}
+	if s.Makespan != m.H+m.CNOT+m.Meas {
+		t.Errorf("makespan = %d", s.Makespan)
+	}
+}
+
+func TestALAPSameMakespanAndOrdering(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 4, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Circuit
+	asap := ASAP(c, cm())
+	alap := ALAP(c, cm())
+	if asap.Makespan != alap.Makespan {
+		t.Fatalf("makespans differ: %d vs %d", asap.Makespan, alap.Makespan)
+	}
+	d := circuit.Deps(c)
+	for i := range c.Gates {
+		if alap.Start[i] < asap.Start[i] {
+			t.Fatalf("gate %d: ALAP start %d before ASAP %d", i, alap.Start[i], asap.Start[i])
+		}
+		for _, succ := range d.Succ[i] {
+			if alap.Finish[i] > alap.Start[succ] {
+				t.Fatalf("ALAP violates dependency %d -> %d", i, succ)
+			}
+		}
+	}
+}
+
+func TestSlackZeroOnCriticalPath(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 2, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := Slack(f.Circuit, cm())
+	zero := 0
+	for _, s := range sl {
+		if s < 0 {
+			t.Fatalf("negative slack %d", s)
+		}
+		if s == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("some gates must lie on the critical path")
+	}
+}
+
+func TestParallelismProfile(t *testing.T) {
+	c := circuit.New(4)
+	c.H(0)
+	c.H(1)
+	c.CNOT(0, 1)
+	c.H(2)
+	prof := ParallelismProfile(c)
+	if prof[0] != 3 || prof[1] != 1 {
+		t.Errorf("profile = %v, want [3 1]", prof)
+	}
+}
+
+func TestCommute(t *testing.T) {
+	cn := func(ctrl, tgt circuit.Qubit) *circuit.Gate {
+		return &circuit.Gate{Kind: circuit.KindCNOT, Control: ctrl, Targets: []circuit.Qubit{tgt}}
+	}
+	h := &circuit.Gate{Kind: circuit.KindH, Control: circuit.NoQubit, Targets: []circuit.Qubit{0}}
+	bar := &circuit.Gate{Kind: circuit.KindBarrier, Control: circuit.NoQubit, Targets: []circuit.Qubit{0, 1}}
+
+	cases := []struct {
+		a, b *circuit.Gate
+		want bool
+		name string
+	}{
+		{cn(0, 1), cn(2, 3), true, "disjoint"},
+		{cn(0, 1), cn(0, 2), true, "shared control"},
+		{cn(0, 2), cn(1, 2), true, "shared target"},
+		{cn(0, 1), cn(1, 2), false, "target feeds control"},
+		{cn(0, 1), cn(2, 0), false, "control feeds target"},
+		{cn(0, 1), h, false, "H on control blocks"},
+		{cn(0, 1), bar, false, "barrier blocks"},
+	}
+	for _, tc := range cases {
+		if got := Commute(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: commute = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := Commute(tc.b, tc.a); got != tc.want {
+			t.Errorf("%s (swapped): commute = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSiftEarlierImprovesSharedControlChain(t *testing.T) {
+	// Three CNOTs with a shared control are order-serialized by the
+	// hazard rule; sifting cannot remove the shared-control hazard, but a
+	// commuting reorder of shared-control gates with interleaved blockers
+	// can shorten chains. Build a case where gate 2 commutes past gate 1.
+	c := circuit.New(4)
+	c.CNOT(0, 1) // A
+	c.CNOT(2, 3) // B: disjoint from A (no swap benefit; shares nothing)
+	c.CNOT(0, 2) // C: shares control with A, shares q2 with B (target/control -> blocked by B)
+	before := cm().CriticalPath(c)
+	out := SiftEarlier(c)
+	after := cm().CriticalPath(out)
+	if after > before {
+		t.Errorf("sifting lengthened critical path: %d -> %d", before, after)
+	}
+	if len(out.Gates) != len(c.Gates) {
+		t.Error("sifting changed gate count")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiftEarlierPreservesFactorySemantics(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 2, Levels: 2, Barriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SiftEarlier(f.Circuit)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Gate census unchanged.
+	for _, k := range []circuit.Kind{circuit.KindCNOT, circuit.KindCXX, circuit.KindInjectT, circuit.KindBarrier, circuit.KindMove} {
+		if out.CountKind(k) != f.Circuit.CountKind(k) {
+			t.Errorf("%v count changed", k)
+		}
+	}
+	// Barriers still fence: no round-2 body gate may precede the barrier.
+	barIdx := -1
+	for i := range out.Gates {
+		if out.Gates[i].Kind == circuit.KindBarrier {
+			barIdx = i
+			break
+		}
+	}
+	for i := 0; i < barIdx; i++ {
+		g := out.Gates[i]
+		if g.Round == 2 && g.Kind != circuit.KindBarrier {
+			t.Fatalf("round-2 gate %d crossed the barrier", i)
+		}
+	}
+	// ASAP makespan must not grow.
+	if ASAP(out, cm()).Makespan > ASAP(f.Circuit, cm()).Makespan {
+		t.Error("sifting increased the ASAP makespan")
+	}
+}
+
+func TestInsertRoundBarriers(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.H(1)
+	out := InsertRoundBarriers(c, []int{0}, []circuit.Qubit{0, 1})
+	if len(out.Gates) != 3 || out.Gates[1].Kind != circuit.KindBarrier {
+		t.Fatalf("barrier not inserted: %v", out.String())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if len(c.Gates) != 2 {
+		t.Error("input mutated")
+	}
+}

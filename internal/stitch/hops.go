@@ -1,0 +1,227 @@
+package stitch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/circuit"
+	"magicstate/internal/layout"
+)
+
+// applyHopRouting selects an intermediate destination for every
+// inter-round wire, anneals hop locations when the mode asks for it, and
+// rewrites the circuit. Hop qubits are dead qubits (consumed raw states
+// or measured ancillas not reused by later rounds), so hops never add
+// tiles. Returns the number of hopped wires.
+func applyHopRouting(f *bravyi.Factory, pl *layout.Placement, opt Options, rng *rand.Rand) (int, error) {
+	// Collect hop candidates per consuming round: ids dead by that
+	// round's permutation time and not used as registers afterwards.
+	liveAfter := make(map[circuit.Qubit]bool)
+	for _, m := range f.Modules {
+		if m.Round >= 2 {
+			for _, qs := range [][]circuit.Qubit{m.Raw, m.Anc, m.Out} {
+				for _, q := range qs {
+					liveAfter[q] = true
+				}
+			}
+		}
+	}
+	// Dead pool: round-1 raw states (consumed by injection) and round-1
+	// ancillas (measured), minus anything reused later.
+	var pool []circuit.Qubit
+	for _, mi := range f.Rounds[0].Modules {
+		m := f.Modules[mi]
+		for _, qs := range [][]circuit.Qubit{m.Raw, m.Anc} {
+			for _, q := range qs {
+				if !liveAfter[q] {
+					pool = append(pool, q)
+				}
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return 0, nil
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+
+	wires := f.Wires
+	hops := make(map[int]circuit.Qubit, len(wires))
+	used := make(map[circuit.Qubit]bool, len(wires))
+
+	srcTile := func(w bravyi.Wire) layout.Point {
+		return pl.At(int(f.Modules[w.FromModule].Out[w.FromPort]))
+	}
+	dstTile := func(w bravyi.Wire) layout.Point {
+		return pl.At(int(f.Modules[w.ToModule].Raw[w.ToSlot]))
+	}
+
+	pickRandom := func() circuit.Qubit {
+		for tries := 0; tries < 4*len(pool); tries++ {
+			q := pool[rng.Intn(len(pool))]
+			if !used[q] {
+				used[q] = true
+				return q
+			}
+		}
+		return circuit.NoQubit
+	}
+	pickNearest := func(target layout.Point) circuit.Qubit {
+		best, bestD := circuit.NoQubit, 1<<30
+		for _, q := range pool {
+			if used[q] {
+				continue
+			}
+			if d := layout.Manhattan(pl.At(int(q)), target); d < bestD {
+				best, bestD = q, d
+			}
+		}
+		if best != circuit.NoQubit {
+			used[best] = true
+		}
+		return best
+	}
+
+	for wi, w := range wires {
+		var hq circuit.Qubit
+		switch opt.Hops {
+		case RandomHop, AnnealedRandomHop:
+			hq = pickRandom()
+		case AnnealedMidpointHop:
+			s, d := srcTile(w), dstTile(w)
+			hq = pickNearest(layout.Point{X: (s.X + d.X) / 2, Y: (s.Y + d.Y) / 2})
+		}
+		if hq == circuit.NoQubit {
+			continue // pool exhausted: route this wire directly
+		}
+		hops[wi] = hq
+	}
+
+	if opt.Hops == AnnealedRandomHop || opt.Hops == AnnealedMidpointHop {
+		annealHops(f, pl, wires, hops, pool, used, opt.HopIters, rng)
+	}
+	if err := bravyi.ApplyHops(f, hops); err != nil {
+		return 0, err
+	}
+	return len(hops), nil
+}
+
+// annealHops locally improves hop assignments: each pass tries to move
+// every hop to a nearby unused dead qubit and keeps the move when the
+// force-directed objective — segment conflicts between permutation legs
+// (the crossing heuristic) plus a length term — decreases.
+func annealHops(f *bravyi.Factory, pl *layout.Placement, wires []bravyi.Wire,
+	hops map[int]circuit.Qubit, pool []circuit.Qubit, used map[circuit.Qubit]bool,
+	iters int, rng *rand.Rand) {
+
+	srcTile := func(w bravyi.Wire) layout.Point {
+		return pl.At(int(f.Modules[w.FromModule].Out[w.FromPort]))
+	}
+	dstTile := func(w bravyi.Wire) layout.Point {
+		return pl.At(int(f.Modules[w.ToModule].Raw[w.ToSlot]))
+	}
+	hopTile := func(wi int) layout.Point { return pl.At(int(hops[wi])) }
+
+	// legsFor materializes the two segments of wire wi under its current
+	// (or hypothetical) hop tile.
+	legsFor := func(wi int, hop layout.Point) [2]layout.Segment {
+		w := wires[wi]
+		return [2]layout.Segment{
+			{A: srcTile(w), B: hop},
+			{A: hop, B: dstTile(w)},
+		}
+	}
+	allLegs := func() []layout.Segment {
+		var segs []layout.Segment
+		for wi, w := range wires {
+			if _, ok := hops[wi]; ok {
+				ls := legsFor(wi, hopTile(wi))
+				segs = append(segs, ls[0], ls[1])
+			} else {
+				segs = append(segs, layout.Segment{A: srcTile(w), B: dstTile(w)})
+			}
+		}
+		return segs
+	}
+
+	score := func(ls [2]layout.Segment, others []layout.Segment) float64 {
+		var s float64
+		for _, l := range ls {
+			s += 0.2 * float64(layout.Manhattan(l.A, l.B))
+			for _, o := range others {
+				if o == l {
+					continue
+				}
+				if layout.SegmentsConflict(l, o) {
+					s += 4
+				}
+			}
+		}
+		return s
+	}
+
+	hopIdxs := make([]int, 0, len(hops))
+	for wi := range hops {
+		hopIdxs = append(hopIdxs, wi)
+	}
+	sort.Ints(hopIdxs)
+
+	for pass := 0; pass < iters; pass++ {
+		improved := false
+		segs := allLegs()
+		for _, wi := range hopIdxs {
+			cur := hops[wi]
+			curScore := score(legsFor(wi, hopTile(wi)), segs)
+			// Candidate: a few random unused pool qubits plus the one
+			// nearest the wire midpoint.
+			var best circuit.Qubit = circuit.NoQubit
+			bestScore := curScore
+			for c := 0; c < 6; c++ {
+				q := pool[rng.Intn(len(pool))]
+				if used[q] {
+					continue
+				}
+				if s := score(legsFor(wi, pl.At(int(q))), segs); s < bestScore {
+					best, bestScore = q, s
+				}
+			}
+			if best != circuit.NoQubit {
+				used[cur] = false
+				used[best] = true
+				hops[wi] = best
+				improved = true
+				segs = allLegs() // refresh after each accepted move
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// PermutationLatency extracts the permutation-phase window of round r
+// from per-gate timings (Fig. 9d's metric): the cycles between the first
+// and last permutation move of that round.
+func PermutationLatency(f *bravyi.Factory, start, end []int, round int) (int, error) {
+	if round < 2 || round > len(f.Rounds) {
+		return 0, fmt.Errorf("stitch: round %d has no permutation phase", round)
+	}
+	r := f.Rounds[round-1]
+	lo, hi := -1, 0
+	for gi := r.PermStart; gi < r.PermEnd; gi++ {
+		if start[gi] < 0 {
+			continue
+		}
+		if lo == -1 || start[gi] < lo {
+			lo = start[gi]
+		}
+		if end[gi] > hi {
+			hi = end[gi]
+		}
+	}
+	if lo == -1 {
+		return 0, nil
+	}
+	return hi - lo, nil
+}

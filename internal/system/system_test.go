@@ -1,0 +1,220 @@
+package system
+
+import "testing"
+
+func base() Config {
+	return Config{
+		FactoryLatency: 100,
+		BatchSize:      10,
+		SuccessProb:    0.9,
+		Factories:      2,
+		BufferSize:     50,
+		DemandRate:     0.1,
+		Cycles:         20000,
+		Seed:           1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := base().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := base()
+	bad.SuccessProb = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero success probability should fail")
+	}
+	bad = base()
+	bad.Factories = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero factories should fail")
+	}
+	bad = base()
+	bad.DemandRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestZeroDemandNeverStalls(t *testing.T) {
+	cfg := base()
+	cfg.DemandRate = 0
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stalled != 0 || r.Served != 0 {
+		t.Errorf("no demand: served %d stalled %d", r.Served, r.Stalled)
+	}
+	if r.AvgOccupancy <= 0 {
+		t.Error("buffer should fill with no demand")
+	}
+}
+
+func TestOversupplyServesEverything(t *testing.T) {
+	cfg := base()
+	// Supply 2*10*0.9/100 = 0.18 states/cycle vs demand 0.05.
+	cfg.DemandRate = 0.05
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallFraction() > 0.05 {
+		t.Errorf("oversupplied farm stalls %.1f%% of requests", 100*r.StallFraction())
+	}
+	if r.Wasted == 0 {
+		t.Error("oversupply with a finite buffer should waste some states")
+	}
+}
+
+func TestUndersupplyStalls(t *testing.T) {
+	cfg := base()
+	cfg.DemandRate = 1.0 // demand 1 state/cycle vs supply 0.18
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallFraction() < 0.5 {
+		t.Errorf("undersupplied farm should stall most requests, got %.1f%%", 100*r.StallFraction())
+	}
+	if r.StallCycles == 0 {
+		t.Error("stall cycles should accumulate")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Simulate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("same seed must reproduce identical results")
+	}
+}
+
+func TestMaintenanceReserveCompensatesLosses(t *testing.T) {
+	cfg := base()
+	cfg.SuccessProb = 0.5 // heavy failures
+	cfg.DemandRate = 0.08
+	plain, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaintenanceReserve = 30
+	backed, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backed.CompensatedBatches == 0 {
+		t.Fatal("reserve never exercised")
+	}
+	if backed.StallFraction() > plain.StallFraction() {
+		t.Errorf("loss compensation should not increase stalls: %.3f vs %.3f",
+			backed.StallFraction(), plain.StallFraction())
+	}
+}
+
+func TestFactoriesFor(t *testing.T) {
+	cfg := base()
+	cfg.DemandRate = 0.5
+	n := FactoriesFor(cfg, 1.1)
+	// Need n * 10 * 0.9 / 100 >= 0.55 -> n >= 6.1 -> 7.
+	if n != 7 {
+		t.Errorf("factories = %d, want 7", n)
+	}
+	// And a farm with that many factories should mostly keep up.
+	cfg.Factories = n
+	cfg.BufferSize = 200
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallFraction() > 0.15 {
+		t.Errorf("sized farm stalls %.1f%%", 100*r.StallFraction())
+	}
+	if FactoriesFor(Config{}, 1) != 0 {
+		t.Error("degenerate config should size to 0")
+	}
+}
+
+func TestBufferSweepMonotoneTrend(t *testing.T) {
+	cfg := base()
+	cfg.DemandRate = 0.17 // just under supply: buffering matters
+	pts, err := BufferSweep(cfg, []int{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatal("want 3 points")
+	}
+	if pts[2].StallFraction > pts[0].StallFraction {
+		t.Errorf("bigger buffers should not stall more: %+v", pts)
+	}
+	if pts[2].AvgOccupancy < pts[0].AvgOccupancy {
+		t.Errorf("bigger buffers should hold more: %+v", pts)
+	}
+}
+
+func TestYieldHistogramValidation(t *testing.T) {
+	base := Config{
+		FactoryLatency: 100, BatchSize: 4, SuccessProb: 0.5,
+		Factories: 1, BufferSize: 16, DemandRate: 0.01, Cycles: 1000,
+	}
+	bad := base
+	bad.YieldHistogram = []int{1, 1} // wrong length
+	if _, err := Simulate(bad); err == nil {
+		t.Error("wrong-length histogram accepted")
+	}
+	bad = base
+	bad.YieldHistogram = []int{0, 0, 0, 0, 0}
+	if _, err := Simulate(bad); err == nil {
+		t.Error("zero-mass histogram accepted")
+	}
+	bad = base
+	bad.YieldHistogram = []int{1, -1, 0, 0, 0}
+	if _, err := Simulate(bad); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestYieldHistogramProductionMatchesMean(t *testing.T) {
+	// Histogram: half the batches deliver 0, half deliver 4 → mean 2 per
+	// batch, same as SuccessProb 0.5 with batch 4; production should
+	// match the all-or-nothing model closely.
+	cfg := Config{
+		FactoryLatency: 50, BatchSize: 4, SuccessProb: 0.5,
+		Factories: 2, BufferSize: 1 << 20, DemandRate: 0, Cycles: 100000,
+		Seed: 7,
+	}
+	allOrNothing, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.YieldHistogram = []int{1, 0, 0, 0, 1}
+	hist, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(hist.Produced) / float64(allOrNothing.Produced)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("histogram production %d vs all-or-nothing %d (ratio %.2f)",
+			hist.Produced, allOrNothing.Produced, ratio)
+	}
+	// A partial-yield histogram with the same mean smooths production.
+	cfg.YieldHistogram = []int{0, 0, 1, 0, 0} // always 2 states
+	smooth, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := float64(smooth.Produced) / float64(allOrNothing.Produced)
+	if sr < 0.9 || sr > 1.1 {
+		t.Errorf("smooth production ratio %.2f", sr)
+	}
+	if smooth.FailedBatches != 0 {
+		t.Errorf("always-2 histogram recorded %d failed batches", smooth.FailedBatches)
+	}
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/circuit"
+	"magicstate/internal/layout"
+	"magicstate/internal/mesh"
+)
+
+func simFactory(t testing.TB, k, levels int) (*bravyi.Factory, *mesh.Result) {
+	t.Helper()
+	f, err := bravyi.Build(bravyi.Params{K: k, Levels: levels, Reuse: levels >= 2, Barriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := layout.Linear(f)
+	res, err := mesh.Simulate(f.Circuit, pl, mesh.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestConcurrencyConservesBusyCycles(t *testing.T) {
+	_, res := simFactory(t, 2, 1)
+	for _, bins := range []int{1, 7, 32} {
+		conc, err := Concurrency(res, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conc) != bins {
+			t.Fatalf("bins = %d, got %d values", bins, len(conc))
+		}
+		// Integral of concurrency over time equals total busy cycles.
+		binWidth := float64(res.Latency) / float64(bins)
+		var integral float64
+		for _, v := range conc {
+			integral += v * binWidth
+		}
+		busy := 0
+		for i := range res.Start {
+			if res.Start[i] >= 0 && res.End[i] > res.Start[i] {
+				busy += res.End[i] - res.Start[i]
+			}
+		}
+		if math.Abs(integral-float64(busy)) > 1e-6*float64(busy) {
+			t.Errorf("bins=%d: integral %.1f, busy cycles %d", bins, integral, busy)
+		}
+	}
+}
+
+func TestConcurrencyRejectsBadBins(t *testing.T) {
+	_, res := simFactory(t, 2, 1)
+	if _, err := Concurrency(res, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+}
+
+func TestBusyFractionBounds(t *testing.T) {
+	_, res := simFactory(t, 2, 2)
+	bf := BusyFraction(res)
+	if bf <= 0 || bf > 1 {
+		t.Errorf("busy fraction %g out of (0,1]", bf)
+	}
+	if got := BusyFraction(&mesh.Result{}); got != 0 {
+		t.Errorf("empty result busy fraction %g", got)
+	}
+}
+
+func TestRoundTimeline(t *testing.T) {
+	f, res := simFactory(t, 2, 2)
+	spans, err := RoundTimeline(f, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2 rounds", len(spans))
+	}
+	if spans[0].PermCycles() != 0 {
+		t.Errorf("round 1 has a permutation window of %d cycles", spans[0].PermCycles())
+	}
+	if spans[1].PermCycles() <= 0 {
+		t.Error("round 2 permutation window empty")
+	}
+	// Rounds execute in order under barriers.
+	if spans[1].Start < spans[0].End {
+		t.Errorf("round 2 starts at %d before round 1 ends at %d", spans[1].Start, spans[0].End)
+	}
+	// The permutation lies inside its round.
+	if spans[1].PermStart < spans[1].Start || spans[1].PermEnd > spans[1].End {
+		t.Errorf("permutation [%d,%d) escapes round [%d,%d)",
+			spans[1].PermStart, spans[1].PermEnd, spans[1].Start, spans[1].End)
+	}
+	share := PermutationShare(spans, res.Latency)
+	if share <= 0 || share >= 1 {
+		t.Errorf("permutation share %g out of (0,1)", share)
+	}
+}
+
+func TestRoundTimelineRejectsMismatch(t *testing.T) {
+	f, _ := simFactory(t, 2, 1)
+	if _, err := RoundTimeline(f, &mesh.Result{Start: []int{0}, End: []int{1}}); err == nil {
+		t.Error("gate count mismatch accepted")
+	}
+}
+
+func TestKindBreakdown(t *testing.T) {
+	f, res := simFactory(t, 2, 1)
+	kinds, err := KindBreakdown(f.Circuit, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds[circuit.KindInjectT] == 0 {
+		t.Error("no injectT busy cycles in a distillation circuit")
+	}
+	total := 0
+	for _, v := range kinds {
+		total += v
+	}
+	busy := 0
+	for i := range res.Start {
+		if res.Start[i] >= 0 {
+			busy += res.End[i] - res.Start[i]
+		}
+	}
+	if total != busy {
+		t.Errorf("kind breakdown sums to %d, busy cycles %d", total, busy)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("nil values rendered %q", got)
+	}
+	if got := Sparkline([]float64{0, 0, 0}, 3); got != "   " {
+		t.Errorf("all-zero rendered %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(got)) != 8 {
+		t.Fatalf("width = %d, want 8", len([]rune(got)))
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("monotone ramp rendered %q", got)
+	}
+	// Resampling to narrower width still monotone non-decreasing.
+	narrow := []rune(Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 4))
+	for i := 1; i < len(narrow); i++ {
+		if narrow[i] < narrow[i-1] {
+			t.Errorf("resampled ramp not monotone: %q", string(narrow))
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	f, res := simFactory(t, 2, 2)
+	var sb strings.Builder
+	if err := WriteReport(&sb, f, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"latency", "concurrency", "round 1", "round 2", "permutation share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: the concurrency integral equals busy cycles for arbitrary bin
+// counts and factory sizes.
+func TestConcurrencyPropertyConservation(t *testing.T) {
+	f := func(binsRaw, kRaw uint8) bool {
+		bins := int(binsRaw%40) + 1
+		k := int(kRaw%3)*2 + 2
+		fac, err := bravyi.Build(bravyi.Params{K: k, Levels: 1})
+		if err != nil {
+			return false
+		}
+		res, err := mesh.Simulate(fac.Circuit, layout.Linear(fac), mesh.Config{})
+		if err != nil {
+			return false
+		}
+		conc, err := Concurrency(res, bins)
+		if err != nil {
+			return false
+		}
+		binWidth := float64(res.Latency) / float64(bins)
+		var integral float64
+		for _, v := range conc {
+			integral += v * binWidth
+		}
+		busy := 0
+		for i := range res.Start {
+			if res.Start[i] >= 0 {
+				busy += res.End[i] - res.Start[i]
+			}
+		}
+		return math.Abs(integral-float64(busy)) <= 1e-6*float64(busy)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package magicstate
+
+import (
+	"fmt"
+
+	"strings"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/core"
+	"magicstate/internal/mesh"
+	"magicstate/internal/plan"
+	"magicstate/internal/resource"
+	"magicstate/internal/trace"
+)
+
+// InteractionStyle selects how two-qubit logical operations claim the
+// lattice — the §IX braiding / lattice-surgery / teleportation study.
+type InteractionStyle int
+
+// Interaction styles. Braiding (the zero value) is the paper's model.
+const (
+	Braiding       InteractionStyle = InteractionStyle(mesh.StyleBraiding)
+	LatticeSurgery InteractionStyle = InteractionStyle(mesh.StyleLatticeSurgery)
+	Teleportation  InteractionStyle = InteractionStyle(mesh.StyleTeleportation)
+)
+
+// String names the style.
+func (s InteractionStyle) String() string { return mesh.InteractionStyle(s).String() }
+
+// Strategy selects a qubit mapping procedure.
+type Strategy int
+
+// The paper's five mapping strategies (Table I rows).
+const (
+	RandomMapping         Strategy = Strategy(core.StrategyRandom)
+	LinearMapping         Strategy = Strategy(core.StrategyLinear)
+	ForceDirected         Strategy = Strategy(core.StrategyForceDirected)
+	GraphPartitioning     Strategy = Strategy(core.StrategyGraphPartition)
+	HierarchicalStitching Strategy = Strategy(core.StrategyStitch)
+)
+
+// String returns the strategy's Table I label.
+func (s Strategy) String() string { return core.Strategy(s).String() }
+
+// FactorySpec describes the magic-state factory to build.
+type FactorySpec struct {
+	// Capacity is the number of distilled states produced per run; it
+	// must be a perfect Levels-th power (the factory produces k^Levels
+	// states from a (3k+8) -> k protocol).
+	Capacity int
+	// Levels is the block-code recursion depth (1 or 2 in the paper).
+	Levels int
+	// Reuse enables sharing-after-measurement qubit reuse between rounds.
+	Reuse bool
+}
+
+// Params converts the spec to protocol parameters.
+func (s FactorySpec) Params() (bravyi.Params, error) {
+	p, err := bravyi.ParamsForCapacity(s.Capacity, s.Levels)
+	if err != nil {
+		return p, err
+	}
+	p.Reuse = s.Reuse
+	return p, nil
+}
+
+// Options tunes an optimization run.
+type Options struct {
+	// Strategy picks the mapper (default HierarchicalStitching for
+	// multi-level factories, LinearMapping otherwise).
+	Strategy Strategy
+	// Seed makes the run reproducible.
+	Seed int64
+	// DisableBarriers removes the inter-round scheduling fences.
+	DisableBarriers bool
+	// Trace populates Result.Trace with a utilization report (braid
+	// concurrency sparkline, per-round timing, permutation share,
+	// per-kind cycle breakdown).
+	Trace bool
+	// Style selects the surface-code interaction discipline (§IX);
+	// Braiding (the zero value) reproduces the paper. Distance feeds the
+	// distance-sensitive styles (zero means 7).
+	Style       InteractionStyle
+	Distance    int
+	strategySet bool
+}
+
+// WithStrategy returns o with the strategy set explicitly (distinguishing
+// "unset" from RandomMapping, which is the zero value).
+func (o Options) WithStrategy(s Strategy) Options {
+	o.Strategy = s
+	o.strategySet = true
+	return o
+}
+
+// Result reports an optimized factory.
+type Result struct {
+	// Latency is the simulated execution time in surface-code cycles.
+	Latency int
+	// Area is the logical-qubit tile count.
+	Area int
+	// Volume is Latency x Area, the paper's quantum volume metric.
+	Volume float64
+	// CriticalLatency and CriticalVolume are dependency-limited lower
+	// bounds ("theoretical lower bound" in Fig. 7).
+	CriticalLatency int
+	CriticalVolume  float64
+	// PermutationLatency is the inter-round permutation window for
+	// multi-level factories (Fig. 9d's metric).
+	PermutationLatency int
+	// Strategy echoes the mapper used.
+	Strategy string
+	// Trace is the utilization report (only with Options.Trace).
+	Trace string
+}
+
+// Optimize builds, maps and simulates the factory described by spec.
+func Optimize(spec FactorySpec, opts Options) (*Result, error) {
+	p, err := spec.Params()
+	if err != nil {
+		return nil, err
+	}
+	strat := core.Strategy(opts.Strategy)
+	if !opts.strategySet && opts.Strategy == RandomMapping {
+		if spec.Levels >= 2 {
+			strat = core.StrategyStitch
+		} else {
+			strat = core.StrategyLinear
+		}
+	}
+	rep, err := core.Run(core.Config{
+		K:           p.K,
+		Levels:      p.Levels,
+		Reuse:       spec.Reuse,
+		NoBarriers:  opts.DisableBarriers,
+		Strategy:    strat,
+		Seed:        opts.Seed,
+		Style:       mesh.InteractionStyle(opts.Style),
+		Distance:    opts.Distance,
+		RecordPaths: opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Latency:            rep.Latency,
+		Area:               rep.Area,
+		Volume:             rep.Volume,
+		CriticalLatency:    rep.CriticalLatency,
+		CriticalVolume:     rep.CriticalVolume,
+		PermutationLatency: rep.PermLatency,
+		Strategy:           rep.Strategy,
+	}
+	if opts.Trace {
+		var sb strings.Builder
+		if err := trace.WriteReport(&sb, rep.Factory, rep.Sim); err != nil {
+			return nil, err
+		}
+		if heat, lat, err := mesh.CongestionMap(rep.Sim, rep.Placement); err == nil {
+			sb.WriteString("channel congestion ('#' tiles, '1'-'9' heat):\n")
+			sb.WriteString(mesh.RenderCongestion(heat, lat, 120, 60))
+		}
+		res.Trace = sb.String()
+	}
+	return res, nil
+}
+
+// ResourceEstimate reports the physical-qubit provisioning of a factory
+// under the balanced-investment error model of §II.G.
+type ResourceEstimate struct {
+	// RoundDistances holds the surface code distance chosen per round.
+	RoundDistances []int
+	// PhysicalQubitsPerRound expands each round's logical tiles by d^2.
+	PhysicalQubitsPerRound []int
+	// OutputError is the distilled state error after the final round.
+	OutputError float64
+	// ExpectedRunsPerBatch derates throughput for distillation failures.
+	ExpectedRunsPerBatch float64
+}
+
+// EstimateResources evaluates spec under the default error model
+// (p_phys = 1e-3, injected state error 5e-3).
+func EstimateResources(spec FactorySpec) (*ResourceEstimate, error) {
+	p, err := spec.Params()
+	if err != nil {
+		return nil, err
+	}
+	em := resource.DefaultError()
+	errs := em.RoundErrors(p)
+	return &ResourceEstimate{
+		RoundDistances:         em.BalancedDistances(p),
+		PhysicalQubitsPerRound: em.PhysicalQubitsPerRound(p),
+		OutputError:            errs[len(errs)-1],
+		ExpectedRunsPerBatch:   resource.ExpectedRunsPerSuccess(p, em),
+	}, nil
+}
+
+// Validate checks a spec without running anything.
+func (s FactorySpec) Validate() error {
+	if _, err := s.Params(); err != nil {
+		return fmt.Errorf("magicstate: %w", err)
+	}
+	return nil
+}
+
+// Application describes a workload to provision magic-state production
+// for, in the units of the paper's §II.D sizing exercise.
+type Application struct {
+	// TCount is the total number of T gates the application executes.
+	TCount float64
+	// ErrorBudget is the acceptable probability that any distilled state
+	// faults over the whole run (per-state target = ErrorBudget/TCount).
+	ErrorBudget float64
+	// TGatesPerCycle is the application's T-consumption rate.
+	TGatesPerCycle float64
+}
+
+// Provision is a complete factory-farm sizing: the chosen block code, the
+// farm and buffer dimensions, and the physical-qubit bill.
+type Provision struct {
+	// CapacityPerFactory is the states one factory delivers per batch.
+	CapacityPerFactory int
+	// K and Levels are the chosen Bravyi-Haah parameters.
+	K, Levels int
+	// OutputError is the achieved per-state error.
+	OutputError float64
+	// BatchLatency is the cycles per factory batch (critical path).
+	BatchLatency int
+	// BatchSuccessProbability derates throughput for failed batches.
+	BatchSuccessProbability float64
+	// Factories is the farm size; BufferSize the prepared-state buffer
+	// keeping stalls under 1%.
+	Factories  int
+	BufferSize int
+	// PhysicalQubits totals the farm under balanced-investment distances.
+	PhysicalQubits int
+	// RawStates estimates total injected raw states, retries included.
+	RawStates float64
+}
+
+// PlanProvision sizes a factory farm for the application: it selects the
+// cheapest Bravyi-Haah block code meeting the error budget, derates for
+// batch failures, and dimensions the farm and buffer of §IX.
+func PlanProvision(app Application) (*Provision, error) {
+	prov, err := plan.Plan(plan.Requirements{
+		TCount:      app.TCount,
+		ErrorBudget: app.ErrorBudget,
+		DemandRate:  app.TGatesPerCycle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Provision{
+		CapacityPerFactory:      prov.Params.Capacity(),
+		K:                       prov.Params.K,
+		Levels:                  prov.Params.Levels,
+		OutputError:             prov.OutputError,
+		BatchLatency:            prov.BatchLatency,
+		BatchSuccessProbability: prov.SuccessProb,
+		Factories:               prov.Factories,
+		BufferSize:              prov.BufferSize,
+		PhysicalQubits:          prov.PhysicalQubits,
+		RawStates:               prov.RawStates,
+	}, nil
+}

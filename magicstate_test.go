@@ -1,0 +1,210 @@
+package magicstate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizeQuickstart(t *testing.T) {
+	res, err := Optimize(FactorySpec{Capacity: 8, Levels: 1}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "Line" {
+		t.Errorf("default L1 strategy = %q, want Line", res.Strategy)
+	}
+	if res.Area != 53 {
+		t.Errorf("area = %d, want 53", res.Area)
+	}
+	if res.Latency < res.CriticalLatency {
+		t.Error("latency below lower bound")
+	}
+}
+
+func TestOptimizeTwoLevelDefaultsToStitching(t *testing.T) {
+	res, err := Optimize(FactorySpec{Capacity: 4, Levels: 2, Reuse: true}, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "HS" {
+		t.Errorf("default L2 strategy = %q, want HS", res.Strategy)
+	}
+	if res.PermutationLatency <= 0 {
+		t.Error("missing permutation latency")
+	}
+}
+
+func TestOptimizeExplicitStrategy(t *testing.T) {
+	res, err := Optimize(FactorySpec{Capacity: 4, Levels: 2},
+		Options{Seed: 3}.WithStrategy(RandomMapping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "Random" {
+		t.Errorf("strategy = %q, want Random", res.Strategy)
+	}
+}
+
+func TestOptimizeRejectsBadSpec(t *testing.T) {
+	if _, err := Optimize(FactorySpec{Capacity: 5, Levels: 2}, Options{}); err == nil {
+		t.Error("capacity 5 at level 2 should be rejected")
+	}
+	if err := (FactorySpec{Capacity: 5, Levels: 2}).Validate(); err == nil {
+		t.Error("Validate should reject too")
+	}
+	if err := (FactorySpec{Capacity: 16, Levels: 2}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestEstimateResources(t *testing.T) {
+	est, err := EstimateResources(FactorySpec{Capacity: 4, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.RoundDistances) != 2 || est.RoundDistances[1] <= est.RoundDistances[0] {
+		t.Errorf("distances %v should grow per round", est.RoundDistances)
+	}
+	if est.OutputError <= 0 || est.OutputError >= 5e-3 {
+		t.Errorf("output error %v should improve on the injected 5e-3", est.OutputError)
+	}
+	if est.ExpectedRunsPerBatch <= 1 {
+		t.Errorf("expected runs %v must exceed 1", est.ExpectedRunsPerBatch)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if RandomMapping.String() != "Random" || HierarchicalStitching.String() != "HS" {
+		t.Error("strategy names broken")
+	}
+}
+
+func TestOptimizeDeterministicPerSeed(t *testing.T) {
+	run := func() *Result {
+		res, err := Optimize(FactorySpec{Capacity: 4, Levels: 2, Reuse: true}, Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("same seed should reproduce identical results: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptimizeStrategyOrderingAtCapacity16(t *testing.T) {
+	// End-to-end check of the paper's Table-I ordering through the
+	// public API: HS <= GP and both beat Random.
+	vol := func(s Strategy) float64 {
+		res, err := Optimize(FactorySpec{Capacity: 16, Levels: 2, Reuse: true},
+			Options{Seed: 1}.WithStrategy(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Volume
+	}
+	hs, gp, rnd := vol(HierarchicalStitching), vol(GraphPartitioning), vol(RandomMapping)
+	if !(hs <= gp && gp < rnd) {
+		t.Errorf("ordering broken: HS %.3g, GP %.3g, Random %.3g", hs, gp, rnd)
+	}
+}
+
+func TestVolumeAboveCriticalAlways(t *testing.T) {
+	for _, spec := range []FactorySpec{
+		{Capacity: 2, Levels: 1},
+		{Capacity: 8, Levels: 1},
+		{Capacity: 4, Levels: 2},
+		{Capacity: 4, Levels: 2, Reuse: true},
+	} {
+		res, err := Optimize(spec, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Volume < res.CriticalVolume {
+			t.Errorf("%+v: volume %.3g below critical %.3g", spec, res.Volume, res.CriticalVolume)
+		}
+	}
+}
+
+func TestPlanProvisionMeetsBudget(t *testing.T) {
+	app := Application{TCount: 1e9, ErrorBudget: 0.01, TGatesPerCycle: 0.02}
+	prov, err := PlanProvision(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.OutputError > app.ErrorBudget/app.TCount {
+		t.Errorf("per-state error %g above budget %g", prov.OutputError, app.ErrorBudget/app.TCount)
+	}
+	if prov.Factories < 1 || prov.PhysicalQubits <= 0 || prov.BufferSize < prov.CapacityPerFactory {
+		t.Errorf("degenerate provision: %+v", prov)
+	}
+	// Farm throughput must cover demand: factories x capacity x p / latency.
+	rate := float64(prov.Factories) * float64(prov.CapacityPerFactory) *
+		prov.BatchSuccessProbability / float64(prov.BatchLatency)
+	if rate < app.TGatesPerCycle {
+		t.Errorf("farm rate %g below demand %g", rate, app.TGatesPerCycle)
+	}
+}
+
+func TestPlanProvisionRejectsBadApplication(t *testing.T) {
+	if _, err := PlanProvision(Application{TCount: 0, ErrorBudget: 0.01, TGatesPerCycle: 0.01}); err == nil {
+		t.Error("TCount=0 accepted")
+	}
+	if _, err := PlanProvision(Application{TCount: 1e9, ErrorBudget: 0, TGatesPerCycle: 0.01}); err == nil {
+		t.Error("ErrorBudget=0 accepted")
+	}
+}
+
+func TestOptimizeInteractionStyles(t *testing.T) {
+	spec := FactorySpec{Capacity: 8, Levels: 1}
+	braid, err := Optimize(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele, err := Optimize(spec, Options{Seed: 1, Style: Teleportation, Distance: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surgery, err := Optimize(spec, Options{Seed: 1, Style: LatticeSurgery, Distance: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At d well above the braid unit, surgery must be slower than
+	// braiding. Teleportation at the matching unit pays only its EPR
+	// setup cycles on this low-congestion mapping (its payoff is
+	// congestion relief, not raw speed), so it must stay within ~15%.
+	if surgery.Latency <= braid.Latency {
+		t.Errorf("surgery at d=25 latency %d <= braiding %d", surgery.Latency, braid.Latency)
+	}
+	if float64(tele.Latency) > 1.15*float64(braid.Latency) {
+		t.Errorf("teleportation at matched unit latency %d far above braiding %d", tele.Latency, braid.Latency)
+	}
+	if Braiding.String() != "braiding" || Teleportation.String() != "teleportation" {
+		t.Error("style names wrong through the facade")
+	}
+}
+
+func TestOptimizeTraceReport(t *testing.T) {
+	res, err := Optimize(FactorySpec{Capacity: 4, Levels: 2, Reuse: true},
+		Options{Seed: 1, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"concurrency", "round 2", "permutation share"} {
+		if !containsStr(res.Trace, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+	plain, err := Optimize(FactorySpec{Capacity: 4, Levels: 2, Reuse: true}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != "" {
+		t.Error("trace populated without Options.Trace")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}
