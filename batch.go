@@ -1,0 +1,96 @@
+package magicstate
+
+import (
+	"context"
+
+	"magicstate/internal/core"
+	"magicstate/internal/mesh"
+	"magicstate/internal/sweep"
+)
+
+// BatchPoint is one grid point of a batch optimization: a factory spec
+// plus the per-point options Optimize would take. The zero-value Options
+// picks the same defaults as Optimize (hierarchical stitching for
+// multi-level factories, the linear mapping otherwise).
+type BatchPoint struct {
+	Spec FactorySpec
+	Opts Options
+}
+
+// BatchOptions tunes batch execution as a whole.
+type BatchOptions struct {
+	// Parallelism bounds the worker pool (<= 0 means one worker per CPU;
+	// 1 evaluates points serially). Every pipeline stage is
+	// deterministic per point, so the setting changes wall-clock time
+	// only, never results.
+	Parallelism int
+	// Progress, when set, observes completion: it is called once per
+	// finished point with the running done count and the batch total,
+	// serialized by the engine.
+	Progress func(done, total int)
+	// Context cancels the batch between points (nil means Background).
+	Context context.Context
+}
+
+// OptimizeBatch builds, maps and simulates every point of a sweep grid
+// on a concurrent worker pool, returning results in input order —
+// results[i] answers points[i]. Identical points are evaluated once and
+// share a result. The first failing point (lowest index) aborts the
+// batch, matching what a serial loop over Optimize would report.
+//
+// OptimizeBatch is how sweep-style workloads — the paper's capacity x
+// strategy evaluation grids, parameter studies, seed ensembles — scale
+// with cores without the caller managing goroutines:
+//
+//	points := []magicstate.BatchPoint{
+//		{Spec: magicstate.FactorySpec{Capacity: 16, Levels: 2, Reuse: true}},
+//		{Spec: magicstate.FactorySpec{Capacity: 36, Levels: 2, Reuse: true}},
+//	}
+//	results, err := magicstate.OptimizeBatch(points, magicstate.BatchOptions{})
+func OptimizeBatch(points []BatchPoint, opts BatchOptions) ([]*Result, error) {
+	eng := sweep.New(sweep.Options{Workers: opts.Parallelism, Progress: opts.Progress})
+	return sweep.Map(opts.Context, eng, points, func(_ int, pt BatchPoint) (*Result, error) {
+		return optimizeOn(eng, pt.Spec, pt.Opts)
+	})
+}
+
+// optimizeOn is Optimize routed through a sweep engine's memo cache.
+func optimizeOn(eng *sweep.Engine, spec FactorySpec, opts Options) (*Result, error) {
+	cfg, err := optimizeConfig(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.RunOne(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromReport(rep, opts)
+}
+
+// optimizeConfig lowers a (spec, opts) pair to the core pipeline config
+// Optimize runs.
+func optimizeConfig(spec FactorySpec, opts Options) (core.Config, error) {
+	p, err := spec.Params()
+	if err != nil {
+		return core.Config{}, err
+	}
+	strat := core.Strategy(opts.Strategy)
+	if !opts.strategySet && opts.Strategy == RandomMapping {
+		if spec.Levels >= 2 {
+			strat = core.StrategyStitch
+		} else {
+			strat = core.StrategyLinear
+		}
+	}
+	return core.Config{
+		K:           p.K,
+		Levels:      p.Levels,
+		Reuse:       spec.Reuse,
+		NoBarriers:  opts.DisableBarriers,
+		Strategy:    strat,
+		Seed:        opts.Seed,
+		Style:       mesh.InteractionStyle(opts.Style),
+		Distance:    opts.Distance,
+		RecordPaths: opts.Trace,
+	}, nil
+}

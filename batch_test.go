@@ -1,0 +1,100 @@
+package magicstate
+
+import (
+	"context"
+	"testing"
+)
+
+func batchGrid() []BatchPoint {
+	var pts []BatchPoint
+	for _, capacity := range []int{4, 16} {
+		for _, s := range []Strategy{LinearMapping, HierarchicalStitching} {
+			pts = append(pts, BatchPoint{
+				Spec: FactorySpec{Capacity: capacity, Levels: 2, Reuse: true},
+				Opts: Options{Seed: 1}.WithStrategy(s),
+			})
+		}
+	}
+	return pts
+}
+
+func TestOptimizeBatchMatchesOptimize(t *testing.T) {
+	pts := batchGrid()
+	batch, err := OptimizeBatch(pts, BatchOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(pts) {
+		t.Fatalf("results = %d, want %d", len(batch), len(pts))
+	}
+	for i, pt := range pts {
+		single, err := Optimize(pt.Spec, pt.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *batch[i] != *single {
+			t.Errorf("point %d: batch %+v != serial %+v", i, batch[i], single)
+		}
+	}
+}
+
+func TestOptimizeBatchParallelismInvariant(t *testing.T) {
+	pts := batchGrid()
+	serial, err := OptimizeBatch(pts, BatchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := OptimizeBatch(pts, BatchOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if *serial[i] != *parallel[i] {
+			t.Errorf("point %d differs across parallelism settings", i)
+		}
+	}
+}
+
+func TestOptimizeBatchProgressAndDefaults(t *testing.T) {
+	var last int
+	pts := []BatchPoint{
+		{Spec: FactorySpec{Capacity: 4, Levels: 1}}, // default strategy: line
+		{Spec: FactorySpec{Capacity: 4, Levels: 2}}, // default strategy: hs
+	}
+	res, err := OptimizeBatch(pts, BatchOptions{
+		Parallelism: 2,
+		Progress: func(done, total int) {
+			if total != 2 {
+				t.Errorf("total = %d, want 2", total)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 2 {
+		t.Errorf("final done = %d, want 2", last)
+	}
+	if res[0].Strategy != "Line" || res[1].Strategy != "HS" {
+		t.Errorf("default strategies = %s/%s, want Line/HS", res[0].Strategy, res[1].Strategy)
+	}
+}
+
+func TestOptimizeBatchBadSpecAborts(t *testing.T) {
+	pts := []BatchPoint{
+		{Spec: FactorySpec{Capacity: 4, Levels: 1}},
+		{Spec: FactorySpec{Capacity: 5, Levels: 2}}, // not a perfect square
+	}
+	if _, err := OptimizeBatch(pts, BatchOptions{Parallelism: 2}); err == nil {
+		t.Fatal("invalid spec should abort the batch")
+	}
+}
+
+func TestOptimizeBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeBatch(batchGrid(), BatchOptions{Context: ctx}); err == nil {
+		t.Fatal("cancelled context should abort the batch")
+	}
+}

@@ -1,26 +1,39 @@
 // Command msfu (magic-state functional unit) builds, maps and simulates
-// one Bravyi-Haah block-code distillation factory and prints its resource
-// report.
+// Bravyi-Haah block-code distillation factories and prints their
+// resource reports.
 //
 // Usage:
 //
 //	msfu -capacity 16 -levels 2 -strategy hs -reuse [-seed N] [-estimate]
+//	msfu -capacity 4,16,36 -levels 2 -strategy line,hs -reuse -parallel 4
 //
-// Strategies: random, line, fd, gp, hs.
+// Strategies: random, line, fd, gp, hs (default: hs for levels>=2, line
+// otherwise).
+//
+// -capacity and -strategy accept comma-separated lists; the cross
+// product of the two becomes a batch evaluated through
+// magicstate.OptimizeBatch on -parallel workers (default: one per CPU;
+// 1 evaluates points one at a time, exactly as repeated single runs
+// would). Reports always print in capacity-major, strategy-minor order
+// and are byte-identical at every -parallel setting, so the flag trades
+// wall-clock only.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"magicstate"
 )
 
 func main() {
-	capacity := flag.Int("capacity", 8, "distilled states per factory run (k^levels)")
+	capacities := flag.String("capacity", "8", "distilled states per factory run (k^levels); comma-separated list sweeps a batch")
 	levels := flag.Int("levels", 1, "block-code recursion depth")
-	strategy := flag.String("strategy", "", "mapping strategy: random|line|fd|gp|hs (default: hs for levels>=2, line otherwise)")
+	strategy := flag.String("strategy", "", "mapping strategy: random|line|fd|gp|hs, comma-separated list sweeps a batch (default: hs for levels>=2, line otherwise)")
 	reuse := flag.Bool("reuse", false, "reuse measured qubits across rounds")
 	seed := flag.Int64("seed", 1, "random seed")
 	noBarriers := flag.Bool("nobarriers", false, "drop inter-round scheduling fences")
@@ -28,6 +41,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "also print a utilization trace (concurrency, per-round timing)")
 	style := flag.String("style", "braiding", "interaction style: braiding|surgery|teleport (§IX)")
 	distance := flag.Int("distance", 0, "code distance for distance-sensitive styles (default 7)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "batch workers for capacity/strategy sweeps (1 = serial)")
 	flag.Parse()
 
 	st, ok := map[string]magicstate.InteractionStyle{
@@ -40,56 +54,110 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec := magicstate.FactorySpec{Capacity: *capacity, Levels: *levels, Reuse: *reuse}
-	opts := magicstate.Options{
+	caps, err := parseCapacities(*capacities)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	baseOpts := magicstate.Options{
 		Seed: *seed, DisableBarriers: *noBarriers, Trace: *traceFlag,
 		Style: st, Distance: *distance,
 	}
-	if *strategy != "" {
-		s, ok := map[string]magicstate.Strategy{
-			"random": magicstate.RandomMapping,
-			"line":   magicstate.LinearMapping,
-			"fd":     magicstate.ForceDirected,
-			"gp":     magicstate.GraphPartitioning,
-			"hs":     magicstate.HierarchicalStitching,
-		}[*strategy]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
-			os.Exit(2)
-		}
-		opts = opts.WithStrategy(s)
+	strategies, err := parseStrategies(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	res, err := magicstate.Optimize(spec, opts)
+	// The capacity x strategy cross product is one batch; a single
+	// capacity and strategy is just a batch of one.
+	var points []magicstate.BatchPoint
+	for _, capacity := range caps {
+		for _, s := range strategies {
+			opts := baseOpts
+			if s != nil {
+				opts = opts.WithStrategy(*s)
+			}
+			points = append(points, magicstate.BatchPoint{
+				Spec: magicstate.FactorySpec{Capacity: capacity, Levels: *levels, Reuse: *reuse},
+				Opts: opts,
+			})
+		}
+	}
+	results, err := magicstate.OptimizeBatch(points, magicstate.BatchOptions{Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("factory: capacity %d, %d level(s), reuse=%v, strategy=%s\n",
-		*capacity, *levels, *reuse, res.Strategy)
-	fmt.Printf("  latency:  %d cycles (lower bound %d)\n", res.Latency, res.CriticalLatency)
-	fmt.Printf("  area:     %d logical qubits\n", res.Area)
-	fmt.Printf("  volume:   %.4g qubit-cycles (lower bound %.4g)\n", res.Volume, res.CriticalVolume)
-	if res.PermutationLatency > 0 {
-		fmt.Printf("  permute:  %d cycles (inter-round step)\n", res.PermutationLatency)
-	}
 
-	if *traceFlag {
-		fmt.Print(res.Trace)
-	}
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		pt := points[i]
+		fmt.Printf("factory: capacity %d, %d level(s), reuse=%v, strategy=%s\n",
+			pt.Spec.Capacity, pt.Spec.Levels, pt.Spec.Reuse, res.Strategy)
+		fmt.Printf("  latency:  %d cycles (lower bound %d)\n", res.Latency, res.CriticalLatency)
+		fmt.Printf("  area:     %d logical qubits\n", res.Area)
+		fmt.Printf("  volume:   %.4g qubit-cycles (lower bound %.4g)\n", res.Volume, res.CriticalVolume)
+		if res.PermutationLatency > 0 {
+			fmt.Printf("  permute:  %d cycles (inter-round step)\n", res.PermutationLatency)
+		}
 
-	if *estimate {
-		est, err := magicstate.EstimateResources(spec)
+		if *traceFlag {
+			fmt.Print(res.Trace)
+		}
+
+		if *estimate {
+			est, err := magicstate.EstimateResources(pt.Spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("physical estimate (p=1e-3, inject=5e-3, balanced investment):\n")
+			for r, d := range est.RoundDistances {
+				fmt.Printf("  round %d: distance %d, %d physical qubits\n",
+					r+1, d, est.PhysicalQubitsPerRound[r])
+			}
+			fmt.Printf("  output state error: %.3g\n", est.OutputError)
+			fmt.Printf("  expected runs per successful batch: %.3f\n", est.ExpectedRunsPerBatch)
+		}
+	}
+}
+
+// parseCapacities reads the -capacity list.
+func parseCapacities(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("bad capacity %q", part)
 		}
-		fmt.Printf("physical estimate (p=1e-3, inject=5e-3, balanced investment):\n")
-		for r, d := range est.RoundDistances {
-			fmt.Printf("  round %d: distance %d, %d physical qubits\n",
-				r+1, d, est.PhysicalQubitsPerRound[r])
-		}
-		fmt.Printf("  output state error: %.3g\n", est.OutputError)
-		fmt.Printf("  expected runs per successful batch: %.3f\n", est.ExpectedRunsPerBatch)
+		out = append(out, n)
 	}
+	return out, nil
+}
+
+// parseStrategies reads the -strategy list; a nil entry keeps the
+// level-dependent default.
+func parseStrategies(s string) ([]*magicstate.Strategy, error) {
+	if s == "" {
+		return []*magicstate.Strategy{nil}, nil
+	}
+	names := map[string]magicstate.Strategy{
+		"random": magicstate.RandomMapping,
+		"line":   magicstate.LinearMapping,
+		"fd":     magicstate.ForceDirected,
+		"gp":     magicstate.GraphPartitioning,
+		"hs":     magicstate.HierarchicalStitching,
+	}
+	var out []*magicstate.Strategy
+	for _, part := range strings.Split(s, ",") {
+		st, ok := names[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q", part)
+		}
+		out = append(out, &st)
+	}
+	return out, nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-seed N] [-quick] [artifact ...]
+//	paperbench [-seed N] [-quick] [-parallel N] [-progress] [artifact ...]
 //
 // Artifacts: fig6 fig7a fig7b fig9ab fig9d fig10a fig10b table1 all
 // (fig10a covers the single-level panels 10a/10b/10e; fig10b the
@@ -12,6 +12,19 @@
 // future-work and §III related-work studies; `ext` runs all of them.
 // -quick shrinks the capacity sweeps so a full pass finishes in well
 // under a minute.
+//
+// Every artifact is a grid of independent pipeline runs, and -parallel N
+// executes each grid on N sweep-engine workers (default: one per CPU;
+// -parallel 1 reproduces the serial pipeline exactly). Each pipeline
+// stage is deterministic per grid point, so stdout and -csv artifacts
+// are byte-identical for a given -seed at every -parallel setting —
+// only the wall-clock changes. Identical grid points across artifacts
+// (Table I and Fig. 10 share capacity cells, for instance) are
+// evaluated once per process through the engine's memo cache.
+//
+// -progress reports per-artifact grid completion ("fig10b 7/16 points")
+// on stderr as long sweeps run; stdout stays clean for the artifacts
+// themselves.
 package main
 
 import (
@@ -19,9 +32,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"magicstate/internal/experiments"
+	"magicstate/internal/sweep"
 )
 
 func main() {
@@ -29,7 +45,37 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink capacity sweeps for a fast smoke pass")
 	samples := flag.Int("fig6samples", 60, "randomized mappings for fig6")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
-	flag.Parse()
+	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep-engine workers per experiment grid (1 = serial)")
+	progress := flag.Bool("progress", false, "report per-artifact grid progress on stderr")
+	// Parse flags interleaved with artifact names, so
+	// `paperbench all -quick -parallel 4` means what it says (the stdlib
+	// parser would silently treat everything after `all` as artifacts).
+	var artifacts []string
+	rest := os.Args[1:]
+	for len(rest) > 0 {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		rest = flag.Args()
+		if len(rest) == 0 {
+			break
+		}
+		artifacts = append(artifacts, rest[0])
+		rest = rest[1:]
+	}
+
+	var artifact atomic.Value // name of the artifact currently sweeping
+	artifact.Store("")
+	var progressFn func(done, total int)
+	if *progress {
+		progressFn = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s %d/%d points", artifact.Load(), done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	experiments.SetEngine(sweep.New(sweep.Options{Workers: *parallel, Progress: progressFn}))
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -49,12 +95,23 @@ func main() {
 		experiments.CSV(f, header, rows)
 	}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"all"}
+	if len(artifacts) == 0 {
+		artifacts = []string{"all"}
+	}
+	known := map[string]bool{"all": true, "ext": true}
+	for _, a := range []string{
+		"fig6", "fig7a", "fig7b", "fig9ab", "fig9d", "fig10a", "fig10b", "table1",
+		"ext-styles", "ext-area", "ext-protocols", "ext-yield", "ext-stitchgen",
+		"ext-bk15", "ext-l3", "ext-sched",
+	} {
+		known[a] = true
 	}
 	want := map[string]bool{}
-	for _, a := range args {
+	for _, a := range artifacts {
+		if !known[a] {
+			fmt.Fprintf(os.Stderr, "unknown artifact %q (see doc comment for the list)\n", a)
+			os.Exit(2)
+		}
 		want[a] = true
 	}
 	all := want["all"]
@@ -78,12 +135,17 @@ func main() {
 		if !all && !want[name] {
 			return
 		}
+		artifact.Store(name)
 		start := time.Now()
 		if err := fn(); err != nil {
+			if *progress {
+				fmt.Fprintln(os.Stderr) // finish any partial \r progress line
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 
 	run("fig6", func() error {
@@ -171,12 +233,17 @@ func main() {
 		if !all && !want[name] && !want["ext"] {
 			return
 		}
+		artifact.Store(name)
 		start := time.Now()
 		if err := fn(); err != nil {
+			if *progress {
+				fmt.Fprintln(os.Stderr) // finish any partial \r progress line
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 	styleLevel, styleK := 2, 4
 	yieldKs := []int{2, 4, 6}

@@ -37,6 +37,13 @@
 //		TGatesPerCycle: 0.02,
 //	})
 //
+// Sweep-style workloads — grids of factory configurations — run on a
+// concurrent batch executor via OptimizeBatch: points are evaluated on
+// a worker pool, results preserve submission order, identical points
+// are computed once, and because every pipeline stage is deterministic
+// per point, parallelism never changes the numbers, only the wall
+// clock.
+//
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation plus
 // the extension studies.

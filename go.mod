@@ -1,0 +1,3 @@
+module magicstate
+
+go 1.22

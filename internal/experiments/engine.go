@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"magicstate/internal/sweep"
+)
+
+// defaultEngine is the sweep engine every experiment in this package
+// submits its point grid to. It defaults to a parallel engine with
+// runtime.GOMAXPROCS workers; cmd/paperbench overrides it from the
+// -parallel and -progress flags before running artifacts. Because every
+// pipeline stage is deterministic per point, the engine's worker count
+// changes wall-clock time only — rendered artifacts are byte-identical
+// at any setting (see determinism_test.go).
+var defaultEngine atomic.Pointer[sweep.Engine]
+
+func init() { defaultEngine.Store(sweep.New(sweep.Options{})) }
+
+// Engine returns the engine experiments currently run on.
+func Engine() *sweep.Engine { return defaultEngine.Load() }
+
+// SetEngine replaces the package's engine (worker count, progress
+// callback, memo cache). Call it before running experiments; swapping
+// engines mid-experiment is safe but splits the memo cache.
+func SetEngine(e *sweep.Engine) {
+	if e != nil {
+		defaultEngine.Store(e)
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/core"
+	"magicstate/internal/sweep"
 )
 
 // Fig10Row is one (strategy, capacity) cell of Fig. 10: simulated
@@ -20,52 +22,65 @@ type Fig10Row struct {
 	Reuse    bool
 }
 
-// Fig10 reproduces Fig. 10a/b/e (level 1) or 10c/d/f (level 2).
+// Fig10 reproduces Fig. 10a/b/e (level 1) or 10c/d/f (level 2). The
+// capacity x strategy x reuse grid runs on the sweep engine; the reuse
+// dimension collapses to the winning policy per cell.
 func Fig10(level int, capacities []int, seed int64) ([]Fig10Row, error) {
 	strategies := []core.Strategy{core.StrategyLinear, core.StrategyForceDirected, core.StrategyGraphPartition}
 	if level >= 2 {
 		strategies = append(strategies, core.StrategyStitch)
 	}
-	var rows []Fig10Row
-	for _, cap := range capacities {
+	type point struct {
+		capacity int
+		strategy core.Strategy
+		reuse    bool
+	}
+	var pts []point
+	for _, c := range capacities {
 		for _, s := range strategies {
-			best, err := bestReuse(cap, level, s, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 cap %d %v: %w", cap, s, err)
+			pts = append(pts, point{capacity: c, strategy: s, reuse: false})
+			if level >= 2 {
+				pts = append(pts, point{capacity: c, strategy: s, reuse: true})
 			}
-			rows = append(rows, *best)
+		}
+	}
+	reps, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (*core.Report, error) {
+		rep, err := runCapacity(pt.capacity, level, pt.strategy, pt.reuse, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 cap %d %v: %w", pt.capacity, pt.strategy, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	i := 0
+	for _, c := range capacities {
+		for _, s := range strategies {
+			var rep *core.Report
+			var reuse bool
+			if level == 1 {
+				rep, reuse = reps[i], false
+				i++
+			} else {
+				rep, reuse = pickReuse(reps[i], reps[i+1])
+				i += 2
+			}
+			rows = append(rows, Fig10Row{
+				Strategy: s.String(), Capacity: c,
+				Latency: rep.Latency, Area: rep.Area, Volume: rep.Volume, Reuse: reuse,
+			})
 		}
 	}
 	return rows, nil
 }
 
-// bestReuse runs strategy s under both reuse policies (multi-level) and
-// returns the lower-volume configuration; single-level factories have no
-// reuse dimension.
-func bestReuse(capacity, level int, s core.Strategy, seed int64) (*Fig10Row, error) {
-	toRow := func(rep *core.Report, reuse bool) *Fig10Row {
-		return &Fig10Row{
-			Strategy: s.String(), Capacity: capacity,
-			Latency: rep.Latency, Area: rep.Area, Volume: rep.Volume, Reuse: reuse,
-		}
-	}
-	if level == 1 {
-		rep, err := runCapacity(capacity, level, s, false, seed)
-		if err != nil {
-			return nil, err
-		}
-		return toRow(rep, false), nil
-	}
-	nr, err := runCapacity(capacity, level, s, false, seed)
-	if err != nil {
-		return nil, err
-	}
-	r, err := runCapacity(capacity, level, s, true, seed)
-	if err != nil {
-		return nil, err
-	}
+// pickReuse keeps the lower-volume of a strategy's no-reuse and reuse
+// runs (ties go to reuse, which needs the smaller machine).
+func pickReuse(nr, r *core.Report) (*core.Report, bool) {
 	if r.Volume <= nr.Volume {
-		return toRow(r, true), nil
+		return r, true
 	}
-	return toRow(nr, false), nil
+	return nr, false
 }

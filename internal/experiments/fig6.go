@@ -1,10 +1,14 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation section (§VIII). Each function returns structured rows; the
 // Format helpers render them as text tables, and cmd/paperbench drives
-// them from the command line. All experiments are deterministic per seed.
+// them from the command line. All experiments are deterministic per seed:
+// their point grids run on the concurrent sweep engine (internal/sweep),
+// and every sample draws its randomness from an explicit per-point
+// stream, so rendered artifacts are byte-identical at any worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/bravyi"
@@ -13,6 +17,7 @@ import (
 	"magicstate/internal/layout"
 	"magicstate/internal/mesh"
 	"magicstate/internal/stats"
+	"magicstate/internal/sweep"
 )
 
 // Fig6Point is one randomized mapping sample: the three congestion
@@ -41,7 +46,9 @@ type Fig6Result struct {
 // metrics with latency. To span the quality range the paper's scatter
 // plots cover, two thirds of the samples are random placements partially
 // improved by a short force-directed pass of varying length; the rest are
-// purely random.
+// purely random. Every sample derives its own RNG stream from (seed,
+// index), so the samples are independent grid points for the sweep
+// engine and their order is the submission order regardless of workers.
 func Fig6(k, samples int, seed int64) (*Fig6Result, error) {
 	f, err := bravyi.Build(bravyi.Params{K: k, Levels: 1})
 	if err != nil {
@@ -52,9 +59,11 @@ func Fig6(k, samples int, seed int64) (*Fig6Result, error) {
 	w, h := layout.GridFor(n, 1)
 	tiles := layout.RowMajorTiles(w*h, w)
 
-	res := &Fig6Result{K: k, Samples: samples}
-	var xs, lens, sps, ys []float64
-	for s := 0; s < samples; s++ {
+	idxs := make([]int, samples)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	points, err := sweep.Map(context.Background(), Engine(), idxs, func(_ int, s int) (Fig6Point, error) {
 		rng := stats.SplitRNG(seed, int64(s))
 		p := layout.RandomOnTiles(n, tiles, w, h, rng)
 		if iters := (s % 3) * (4 + s%5); iters > 0 {
@@ -65,19 +74,27 @@ func Fig6(k, samples int, seed int64) (*Fig6Result, error) {
 		}
 		sim, err := mesh.Simulate(f.Circuit, p, mesh.Config{})
 		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", s, err)
+			return Fig6Point{}, fmt.Errorf("sample %d: %w", s, err)
 		}
 		m := layout.Measure(g, p)
-		res.Points = append(res.Points, Fig6Point{
+		return Fig6Point{
 			Crossings:    m.Crossings,
 			AvgManhattan: m.AvgManhattan,
 			AvgSpacing:   m.AvgSpacing,
 			Latency:      sim.Latency,
-		})
-		xs = append(xs, float64(m.Crossings))
-		lens = append(lens, m.AvgManhattan)
-		sps = append(sps, m.AvgSpacing)
-		ys = append(ys, float64(sim.Latency))
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig6Result{K: k, Samples: samples, Points: points}
+	var xs, lens, sps, ys []float64
+	for _, p := range points {
+		xs = append(xs, float64(p.Crossings))
+		lens = append(lens, p.AvgManhattan)
+		sps = append(sps, p.AvgSpacing)
+		ys = append(ys, float64(p.Latency))
 	}
 	if res.RCrossings, err = stats.Pearson(xs, ys); err != nil {
 		return nil, err

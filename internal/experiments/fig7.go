@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/core"
+	"magicstate/internal/sweep"
 )
 
 // Fig7Row is one capacity point of Fig. 7: force-directed and graph
@@ -15,39 +17,65 @@ type Fig7Row struct {
 	Critical  int
 }
 
+// fig7Strategies are the two mappers Fig. 7 compares, in column order.
+var fig7Strategies = []core.Strategy{core.StrategyForceDirected, core.StrategyGraphPartition}
+
 // Fig7 reproduces Fig. 7a (level 1) or 7b (level 2): overall circuit
 // latency attained by FD and GP embeddings versus the theoretical lower
-// bound, as capacity grows.
+// bound, as capacity grows. The capacity x strategy grid runs on the
+// sweep engine.
 func Fig7(level int, capacities []int, seed int64) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, cap := range capacities {
-		row := Fig7Row{Capacity: cap}
-		for _, s := range []core.Strategy{core.StrategyForceDirected, core.StrategyGraphPartition} {
-			rep, err := runCapacity(cap, level, s, level >= 2, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 cap %d %v: %w", cap, s, err)
-			}
-			switch s {
-			case core.StrategyForceDirected:
-				row.FDLatency = rep.Latency
-			case core.StrategyGraphPartition:
-				row.GPLatency = rep.Latency
-			}
-			row.Critical = rep.CriticalLatency
+	type point struct {
+		capacity int
+		strategy core.Strategy
+	}
+	var pts []point
+	for _, c := range capacities {
+		for _, s := range fig7Strategies {
+			pts = append(pts, point{capacity: c, strategy: s})
 		}
-		rows = append(rows, row)
+	}
+	reps, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (*core.Report, error) {
+		rep, err := runCapacity(pt.capacity, level, pt.strategy, level >= 2, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 cap %d %v: %w", pt.capacity, pt.strategy, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, 0, len(capacities))
+	for i, c := range capacities {
+		fd, gp := reps[2*i], reps[2*i+1]
+		rows = append(rows, Fig7Row{
+			Capacity:  c,
+			FDLatency: fd.Latency,
+			GPLatency: gp.Latency,
+			Critical:  gp.CriticalLatency,
+		})
 	}
 	return rows, nil
 }
 
-// runCapacity resolves a capacity to protocol parameters and runs one
-// strategy.
-func runCapacity(capacity, level int, s core.Strategy, reuse bool, seed int64) (*core.Report, error) {
+// capacityConfig resolves a capacity to protocol parameters for one
+// strategy's pipeline run.
+func capacityConfig(capacity, level int, s core.Strategy, reuse bool, seed int64) (core.Config, error) {
 	k, err := kForCapacity(capacity, level)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{K: k, Levels: level, Strategy: s, Reuse: reuse, Seed: seed}, nil
+}
+
+// runCapacity executes one capacity point through the engine's memo
+// cache (call it from inside a sweep.Map function).
+func runCapacity(capacity, level int, s core.Strategy, reuse bool, seed int64) (*core.Report, error) {
+	cfg, err := capacityConfig(capacity, level, s, reuse, seed)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(core.Config{K: k, Levels: level, Strategy: s, Reuse: reuse, Seed: seed})
+	return Engine().RunOne(cfg)
 }
 
 func kForCapacity(capacity, level int) (int, error) {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/core"
 	"magicstate/internal/mesh"
 	"magicstate/internal/stitch"
+	"magicstate/internal/sweep"
 )
 
 // Fig9ReuseRow is one capacity point of Fig. 9a/9b: the relative volume
@@ -17,20 +19,47 @@ type Fig9ReuseRow struct {
 	LineDiff, FDDiff, GPDiff float64
 }
 
-// Fig9Reuse reproduces Fig. 9a/9b on two-level factories.
+// fig9Strategies are the mappers of Fig. 9a/9b, in column order.
+var fig9Strategies = []core.Strategy{core.StrategyLinear, core.StrategyForceDirected, core.StrategyGraphPartition}
+
+// Fig9Reuse reproduces Fig. 9a/9b on two-level factories: the capacity x
+// strategy x reuse grid runs on the sweep engine, then each (capacity,
+// strategy) pair's NR/R reports reduce to a differential.
 func Fig9Reuse(capacities []int, seed int64) ([]Fig9ReuseRow, error) {
+	type point struct {
+		capacity int
+		strategy core.Strategy
+		reuse    bool
+	}
+	var pts []point
+	for _, c := range capacities {
+		for _, s := range fig9Strategies {
+			for _, reuse := range []bool{false, true} {
+				pts = append(pts, point{capacity: c, strategy: s, reuse: reuse})
+			}
+		}
+	}
+	reps, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (*core.Report, error) {
+		rep, err := runCapacity(pt.capacity, 2, pt.strategy, pt.reuse, seed)
+		if err != nil {
+			policy := "NR"
+			if pt.reuse {
+				policy = "R"
+			}
+			return nil, fmt.Errorf("fig9 cap %d %v %s: %w", pt.capacity, pt.strategy, policy, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9ReuseRow
-	for _, cap := range capacities {
-		row := Fig9ReuseRow{Capacity: cap}
-		for _, s := range []core.Strategy{core.StrategyLinear, core.StrategyForceDirected, core.StrategyGraphPartition} {
-			nr, err := runCapacity(cap, 2, s, false, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 cap %d %v NR: %w", cap, s, err)
-			}
-			r, err := runCapacity(cap, 2, s, true, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 cap %d %v R: %w", cap, s, err)
-			}
+	i := 0
+	for _, c := range capacities {
+		row := Fig9ReuseRow{Capacity: c}
+		for _, s := range fig9Strategies {
+			nr, r := reps[i], reps[i+1]
+			i += 2
 			diff := (nr.Volume - r.Volume) / nr.Volume
 			switch s {
 			case core.StrategyLinear:
@@ -57,29 +86,51 @@ type Fig9HopsRow struct {
 	AnnealedMidpoint int
 }
 
-// Fig9Hops reproduces Fig. 9c/9d on two-level factories with reuse.
+// fig9HopModes are the permutation routing modes of Fig. 9c/9d.
+var fig9HopModes = []stitch.HopMode{stitch.NoHop, stitch.RandomHop, stitch.AnnealedRandomHop, stitch.AnnealedMidpointHop}
+
+// Fig9Hops reproduces Fig. 9c/9d on two-level factories with reuse. The
+// capacity x hop-mode grid runs on the sweep engine; each point builds
+// the stitched factory, simulates it, and extracts the permutation
+// window.
 func Fig9Hops(capacities []int, seed int64) ([]Fig9HopsRow, error) {
-	var rows []Fig9HopsRow
-	for _, cap := range capacities {
-		k, err := kForCapacity(cap, 2)
+	type point struct {
+		capacity int
+		k        int
+		mode     stitch.HopMode
+	}
+	var pts []point
+	for _, c := range capacities {
+		k, err := kForCapacity(c, 2)
 		if err != nil {
 			return nil, err
 		}
-		row := Fig9HopsRow{Capacity: cap}
-		for _, mode := range []stitch.HopMode{stitch.NoHop, stitch.RandomHop, stitch.AnnealedRandomHop, stitch.AnnealedMidpointHop} {
-			res, err := stitch.Build(bravyi.Params{K: k, Levels: 2, Barriers: true},
-				stitch.Options{Seed: seed, Reuse: true, Hops: mode})
-			if err != nil {
-				return nil, fmt.Errorf("fig9d cap %d %v: %w", cap, mode, err)
-			}
-			sim, err := mesh.Simulate(res.Factory.Circuit, res.Placement, mesh.Config{})
-			if err != nil {
-				return nil, err
-			}
-			perm, err := stitch.PermutationLatency(res.Factory, sim.Start, sim.End, 2)
-			if err != nil {
-				return nil, err
-			}
+		for _, mode := range fig9HopModes {
+			pts = append(pts, point{capacity: c, k: k, mode: mode})
+		}
+	}
+	perms, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (int, error) {
+		res, err := stitch.Build(bravyi.Params{K: pt.k, Levels: 2, Barriers: true},
+			stitch.Options{Seed: seed, Reuse: true, Hops: pt.mode})
+		if err != nil {
+			return 0, fmt.Errorf("fig9d cap %d %v: %w", pt.capacity, pt.mode, err)
+		}
+		sim, err := mesh.Simulate(res.Factory.Circuit, res.Placement, mesh.Config{})
+		if err != nil {
+			return 0, err
+		}
+		return stitch.PermutationLatency(res.Factory, sim.Start, sim.End, 2)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9HopsRow
+	i := 0
+	for _, c := range capacities {
+		row := Fig9HopsRow{Capacity: c}
+		for _, mode := range fig9HopModes {
+			perm := perms[i]
+			i++
 			switch mode {
 			case stitch.NoHop:
 				row.NoHop = perm

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"magicstate/internal/core"
+	"magicstate/internal/sweep"
 )
 
 // L3Row is one strategy's cost on a three-level factory — one block-code
@@ -24,24 +26,23 @@ type L3Row struct {
 // stitching's round-local embeddings and hop-routed permutations should
 // win by more than at two levels.
 func ThreeLevel(k int, seed int64) ([]L3Row, error) {
-	var rows []L3Row
-	for _, s := range []core.Strategy{
+	strategies := []core.Strategy{
 		core.StrategyLinear, core.StrategyForceDirected,
 		core.StrategyGraphPartition, core.StrategyStitch,
-	} {
-		rep, err := core.Run(core.Config{K: k, Levels: 3, Reuse: true, Strategy: s, Seed: seed})
+	}
+	return sweep.Map(context.Background(), Engine(), strategies, func(_ int, s core.Strategy) (L3Row, error) {
+		rep, err := Engine().RunOne(core.Config{K: k, Levels: 3, Reuse: true, Strategy: s, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("l3 %v: %w", s, err)
+			return L3Row{}, fmt.Errorf("l3 %v: %w", s, err)
 		}
-		rows = append(rows, L3Row{
+		return L3Row{
 			Strategy: s.String(),
 			Latency:  rep.Latency,
 			Area:     rep.Area,
 			Volume:   rep.Volume,
 			Critical: rep.CriticalLatency,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteThreeLevel renders the three-level comparison.

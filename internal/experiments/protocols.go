@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"magicstate/internal/protocols"
+	"magicstate/internal/sweep"
 )
 
 // ProtocolRow is one protocol family provisioned for a common target
@@ -23,24 +25,28 @@ type ProtocolRow struct {
 
 // ProtocolComparison provisions every protocol of the §III zoo for the
 // given injected error rate and target output error, reporting raw-state
-// cost, footprint and a space-time proxy per distilled state.
+// cost, footprint and a space-time proxy per distilled state. Each
+// candidate provisions as its own grid point on the sweep engine;
+// provisioning failures land in the row's Err field instead of aborting
+// the comparison.
 func ProtocolComparison(eps, target float64) []ProtocolRow {
-	var rows []ProtocolRow
-	for _, cr := range protocols.Compare(protocols.DefaultCandidates(eps), eps, target, 8) {
-		row := ProtocolRow{Name: cr.Name}
-		if cr.Err != nil {
-			row.Err = cr.Err.Error()
-		} else {
-			row.Levels = cr.Plan.Levels
-			row.OutputError = cr.Plan.OutputError
-			row.RawPerOut = cr.Plan.RawPerOutput
-			row.ExpectedRaw = cr.Plan.ExpectedRawPerOutput
-			row.SuccessProb = cr.Plan.SuccessProbability
-			row.Qubits = cr.Plan.Qubits
-			row.VolumeProxy = cr.Plan.VolumeProxy
+	candidates := protocols.DefaultCandidates(eps)
+	rows, _ := sweep.Map(context.Background(), Engine(), candidates, func(_ int, cand protocols.Protocol) (ProtocolRow, error) {
+		plan, err := protocols.Provision(cand, eps, target, 8)
+		row := ProtocolRow{Name: cand.Name()}
+		if err != nil {
+			row.Err = err.Error()
+			return row, nil
 		}
-		rows = append(rows, row)
-	}
+		row.Levels = plan.Levels
+		row.OutputError = plan.OutputError
+		row.RawPerOut = plan.RawPerOutput
+		row.ExpectedRaw = plan.ExpectedRawPerOutput
+		row.SuccessProb = plan.SuccessProbability
+		row.Qubits = plan.Qubits
+		row.VolumeProxy = plan.VolumeProxy
+		return row, nil
+	})
 	return rows
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"magicstate/internal/core"
 	"magicstate/internal/layout"
 	"magicstate/internal/mesh"
+	"magicstate/internal/sweep"
 )
 
 // StyleRow is one (code distance, interaction style) point of the §IX
@@ -34,25 +36,35 @@ func StylesExperiment(k, level int, distances []int, seed int64) ([]StyleRow, er
 		return nil, fmt.Errorf("styles: %w", err)
 	}
 	pl := layout.Linear(f)
-	var rows []StyleRow
+	type point struct {
+		distance int
+		style    mesh.InteractionStyle
+	}
+	var pts []point
 	for _, d := range distances {
 		if d < 1 {
 			return nil, fmt.Errorf("styles: bad distance %d", d)
 		}
 		for _, s := range mesh.Styles() {
-			res, err := mesh.Simulate(f.Circuit, pl, mesh.Config{Style: s, Distance: d})
-			if err != nil {
-				return nil, fmt.Errorf("styles d=%d %v: %w", d, s, err)
-			}
-			rows = append(rows, StyleRow{
-				Distance: d,
-				Style:    s.String(),
-				Latency:  res.Latency,
-				Stalls:   res.Stalls,
-				Area:     res.Area,
-				Volume:   res.Volume().SpaceTime(),
-			})
+			pts = append(pts, point{distance: d, style: s})
 		}
+	}
+	rows, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (StyleRow, error) {
+		res, err := mesh.Simulate(f.Circuit, pl, mesh.Config{Style: pt.style, Distance: pt.distance})
+		if err != nil {
+			return StyleRow{}, fmt.Errorf("styles d=%d %v: %w", pt.distance, pt.style, err)
+		}
+		return StyleRow{
+			Distance: pt.distance,
+			Style:    pt.style.String(),
+			Latency:  res.Latency,
+			Stalls:   res.Stalls,
+			Area:     res.Area,
+			Volume:   res.Volume().SpaceTime(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	_ = seed // the linear mapping and the simulator are deterministic
 	return rows, nil
@@ -125,27 +137,33 @@ func StylesByStrategy(k, distance int, seed int64) ([]StyleStrategyRow, error) {
 	if distance < 1 {
 		return nil, fmt.Errorf("styles: bad distance %d", distance)
 	}
-	var rows []StyleStrategyRow
+	type point struct {
+		strategy core.Strategy
+		style    mesh.InteractionStyle
+	}
+	var pts []point
 	for _, strat := range []core.Strategy{
 		core.StrategyLinear, core.StrategyGraphPartition, core.StrategyStitch,
 	} {
 		for _, s := range mesh.Styles() {
-			rep, err := core.Run(core.Config{
-				K: k, Levels: 2, Reuse: true, Strategy: strat, Seed: seed,
-				Style: s, Distance: distance,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("styles %v/%v: %w", strat, s, err)
-			}
-			rows = append(rows, StyleStrategyRow{
-				Strategy: strat.String(),
-				Style:    s.String(),
-				Latency:  rep.Latency,
-				Stalls:   rep.Stalls,
-			})
+			pts = append(pts, point{strategy: strat, style: s})
 		}
 	}
-	return rows, nil
+	return sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (StyleStrategyRow, error) {
+		rep, err := Engine().RunOne(core.Config{
+			K: k, Levels: 2, Reuse: true, Strategy: pt.strategy, Seed: seed,
+			Style: pt.style, Distance: distance,
+		})
+		if err != nil {
+			return StyleStrategyRow{}, fmt.Errorf("styles %v/%v: %w", pt.strategy, pt.style, err)
+		}
+		return StyleStrategyRow{
+			Strategy: pt.strategy.String(),
+			Style:    pt.style.String(),
+			Latency:  rep.Latency,
+			Stalls:   rep.Stalls,
+		}, nil
+	})
 }
 
 // WriteStylesByStrategy renders the strategy x style matrix.

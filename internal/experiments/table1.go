@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/core"
+	"magicstate/internal/sweep"
 )
 
 // Table1Cell is one entry of Table I: the quantum volume a procedure
@@ -38,69 +40,85 @@ func (t *Table1Result) Cell(proc string, level, capacity int) (Table1Cell, bool)
 	return Table1Cell{}, false
 }
 
+// table1L1Strategies are the single-level pipeline runs per capacity (no
+// reuse dimension: one round has nothing to reuse across).
+var table1L1Strategies = []core.Strategy{
+	core.StrategyRandom, core.StrategyLinear,
+	core.StrategyForceDirected, core.StrategyGraphPartition,
+}
+
+// table1L2Strategies are the two-level pipeline runs per capacity; each
+// is evaluated under both reuse policies.
+var table1L2Strategies = []core.Strategy{
+	core.StrategyLinear, core.StrategyForceDirected,
+	core.StrategyGraphPartition, core.StrategyStitch,
+}
+
 // Table1 regenerates Table I for the given capacity sets (the paper uses
-// level 1 K in {2,4,8,10,24} and level 2 K in {4,16,36,64,100}).
+// level 1 K in {2,4,8,10,24} and level 2 K in {4,16,36,64,100}). The
+// whole table is one point grid on the sweep engine — level-1 capacities
+// contribute a run per strategy, level-2 capacities a run per (strategy,
+// reuse policy) — and the cells assemble from the ordered reports.
 func Table1(level1, level2 []int, seed int64) (*Table1Result, error) {
+	type point struct {
+		capacity, level int
+		strategy        core.Strategy
+		reuse           bool
+	}
+	var pts []point
+	for _, c := range level1 {
+		for _, s := range table1L1Strategies {
+			pts = append(pts, point{capacity: c, level: 1, strategy: s})
+		}
+	}
+	for _, c := range level2 {
+		for _, s := range table1L2Strategies {
+			pts = append(pts, point{capacity: c, level: 2, strategy: s, reuse: false})
+			pts = append(pts, point{capacity: c, level: 2, strategy: s, reuse: true})
+		}
+	}
+	reps, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (*core.Report, error) {
+		rep, err := runCapacity(pt.capacity, pt.level, pt.strategy, pt.reuse, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table1 cap %d L%d %v: %w", pt.capacity, pt.level, pt.strategy, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Table1Result{Level1Capacities: level1, Level2Capacities: level2}
 	add := func(proc string, level, cap int, vol float64) {
 		res.Cells = append(res.Cells, Table1Cell{Procedure: proc, Level: level, Capacity: cap, Volume: vol})
 	}
-	for _, cap := range level1 {
-		rnd, err := runCapacity(cap, 1, core.StrategyRandom, false, seed)
-		if err != nil {
-			return nil, fmt.Errorf("table1 random cap %d: %w", cap, err)
-		}
-		add("Random", 1, cap, rnd.Volume)
-		line, err := runCapacity(cap, 1, core.StrategyLinear, false, seed)
-		if err != nil {
-			return nil, err
-		}
+	i := 0
+	for _, c := range level1 {
+		rnd, line, fd, gp := reps[i], reps[i+1], reps[i+2], reps[i+3]
+		i += 4
+		add("Random", 1, c, rnd.Volume)
 		// Single-level factories have no rounds to reuse across; both
 		// Line rows coincide, as their Table I values nearly do.
-		add("Line(NR)", 1, cap, line.Volume)
-		add("Line(R)", 1, cap, line.Volume)
-		fd, err := runCapacity(cap, 1, core.StrategyForceDirected, false, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("FD", 1, cap, fd.Volume)
-		gp, err := runCapacity(cap, 1, core.StrategyGraphPartition, false, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("GP", 1, cap, gp.Volume)
-		add("Critical", 1, cap, line.CriticalVolume)
+		add("Line(NR)", 1, c, line.Volume)
+		add("Line(R)", 1, c, line.Volume)
+		add("FD", 1, c, fd.Volume)
+		add("GP", 1, c, gp.Volume)
+		add("Critical", 1, c, line.CriticalVolume)
 	}
-	for _, cap := range level2 {
-		lineNR, err := runCapacity(cap, 2, core.StrategyLinear, false, seed)
-		if err != nil {
-			return nil, fmt.Errorf("table1 line cap %d: %w", cap, err)
-		}
-		add("Line(NR)", 2, cap, lineNR.Volume)
-		lineR, err := runCapacity(cap, 2, core.StrategyLinear, true, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("Line(R)", 2, cap, lineR.Volume)
-		fd, err := bestReuse(cap, 2, core.StrategyForceDirected, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("FD", 2, cap, fd.Volume)
-		gp, err := bestReuse(cap, 2, core.StrategyGraphPartition, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("GP", 2, cap, gp.Volume)
-		hs, err := bestReuse(cap, 2, core.StrategyStitch, seed)
-		if err != nil {
-			return nil, err
-		}
-		add("HS", 2, cap, hs.Volume)
+	for _, c := range level2 {
+		lineNR, lineR := reps[i], reps[i+1]
+		fd, _ := pickReuse(reps[i+2], reps[i+3])
+		gp, _ := pickReuse(reps[i+4], reps[i+5])
+		hs, _ := pickReuse(reps[i+6], reps[i+7])
+		i += 8
+		add("Line(NR)", 2, c, lineNR.Volume)
+		add("Line(R)", 2, c, lineR.Volume)
+		add("FD", 2, c, fd.Volume)
+		add("GP", 2, c, gp.Volume)
+		add("HS", 2, c, hs.Volume)
 		// Critical volume uses the reuse footprint (the smallest machine
 		// that can run the factory) times the dependency bound.
-		critArea := lineR.Area
-		add("Critical", 2, cap, float64(lineR.CriticalLatency)*float64(critArea))
+		add("Critical", 2, c, float64(lineR.CriticalLatency)*float64(lineR.Area))
 	}
 	return res, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/montecarlo"
 	"magicstate/internal/resource"
+	"magicstate/internal/sweep"
 )
 
 // YieldRow is one factory configuration of the Monte-Carlo yield study:
@@ -30,32 +32,62 @@ type YieldRow struct {
 	Capacity int
 }
 
+// yieldVariant names one Monte-Carlo sampling mode per factory.
+type yieldVariant int
+
+const (
+	yieldPlain yieldVariant = iota
+	yieldCheckpoints
+	yieldReserve
+	yieldVariants // count
+)
+
 // Yield samples every (k, levels) combination for the given trial count.
+// Each (k, variant) pair — plain, checkpointed, and reserve sampling —
+// is one grid point on the sweep engine; a row reduces its factory's
+// three variants.
 func Yield(ks []int, levels, trials int, seed int64) ([]YieldRow, error) {
 	em := resource.DefaultError()
-	var rows []YieldRow
+	type point struct {
+		k       int
+		variant yieldVariant
+	}
+	var pts []point
 	for _, k := range ks {
+		for v := yieldPlain; v < yieldVariants; v++ {
+			pts = append(pts, point{k: k, variant: v})
+		}
+	}
+	runs, err := sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (*montecarlo.Summary, error) {
+		p := bravyi.Params{K: pt.k, Levels: levels, Barriers: true}
+		cfg := montecarlo.Config{Params: p, Errors: em, Trials: trials, Seed: seed}
+		var wrap string
+		switch pt.variant {
+		case yieldCheckpoints:
+			cfg.Checkpoints = true
+			wrap = " checkpoints"
+		case yieldReserve:
+			cfg.Reserve = make([]int, levels)
+			for i := range cfg.Reserve {
+				cfg.Reserve[i] = 1
+			}
+			wrap = " reserve"
+		}
+		res, err := montecarlo.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("yield k=%d%s: %w", pt.k, wrap, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []YieldRow
+	for i, k := range ks {
 		p := bravyi.Params{K: k, Levels: levels, Barriers: true}
-		base := montecarlo.Config{Params: p, Errors: em, Trials: trials, Seed: seed}
-		plain, err := montecarlo.Run(base)
-		if err != nil {
-			return nil, fmt.Errorf("yield k=%d: %w", k, err)
-		}
-		ck := base
-		ck.Checkpoints = true
-		checked, err := montecarlo.Run(ck)
-		if err != nil {
-			return nil, fmt.Errorf("yield k=%d checkpoints: %w", k, err)
-		}
-		rv := base
-		rv.Reserve = make([]int, levels)
-		for i := range rv.Reserve {
-			rv.Reserve[i] = 1
-		}
-		reserved, err := montecarlo.Run(rv)
-		if err != nil {
-			return nil, fmt.Errorf("yield k=%d reserve: %w", k, err)
-		}
+		plain := runs[i*int(yieldVariants)+int(yieldPlain)]
+		checked := runs[i*int(yieldVariants)+int(yieldCheckpoints)]
+		reserved := runs[i*int(yieldVariants)+int(yieldReserve)]
 		rows = append(rows, YieldRow{
 			K:                     k,
 			Levels:                levels,

@@ -10,10 +10,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/resource"
+	"magicstate/internal/sweep"
 	"magicstate/internal/system"
 )
 
@@ -43,6 +45,10 @@ type Requirements struct {
 	// otherwise instantiate 32768 round-1 modules just to be rejected on
 	// cost).
 	MaxModules int
+	// Workers bounds the candidate search's parallelism: each candidate
+	// block size K is priced on its own sweep-engine worker (zero means
+	// one worker per CPU; 1 reproduces the serial scan exactly).
+	Workers int
 }
 
 func (r *Requirements) fill() error {
@@ -107,36 +113,29 @@ type Provision struct {
 
 // Plan selects the cheapest candidate meeting the error target and sizes
 // the farm for it. Cost is physical-qubit count of the farm; ties break
-// toward fewer factories.
+// toward fewer factories. The candidate block sizes are priced
+// concurrently on the sweep engine's worker pool (Requirements.Workers);
+// the reduction walks them in submission order, so the winner — and
+// every tie-break — is identical to the serial scan's.
 func Plan(req Requirements) (*Provision, error) {
 	if err := req.fill(); err != nil {
 		return nil, err
 	}
 	target := req.ErrorBudget / req.TCount
+	eng := sweep.New(sweep.Options{Workers: req.Workers})
+	candidates, err := sweep.Map(context.Background(), eng, req.CandidateKs,
+		func(_ int, k int) (*Provision, error) { return planForK(req, k, target) })
+	if err != nil {
+		return nil, err
+	}
 	var best *Provision
-	for _, k := range req.CandidateKs {
-		for levels := 1; levels <= req.MaxLevels; levels++ {
-			p := bravyi.Params{K: k, Levels: levels, Reuse: levels >= 2, Barriers: true}
-			errs := req.Errors.RoundErrors(p)
-			out := errs[len(errs)-1]
-			if out > target {
-				continue
-			}
-			if p.TotalModules() > req.MaxModules {
-				break // wider K at deeper levels only grows further
-			}
-			prov, err := provisionFor(req, p, target, out)
-			if err != nil {
-				return nil, err
-			}
-			if prov == nil {
-				continue // throughput unattainable (success prob ~ 0)
-			}
-			if best == nil || prov.PhysicalQubits < best.PhysicalQubits ||
-				(prov.PhysicalQubits == best.PhysicalQubits && prov.Factories < best.Factories) {
-				best = prov
-			}
-			break // deeper recursion only costs more for this k
+	for _, prov := range candidates {
+		if prov == nil {
+			continue
+		}
+		if best == nil || prov.PhysicalQubits < best.PhysicalQubits ||
+			(prov.PhysicalQubits == best.PhysicalQubits && prov.Factories < best.Factories) {
+			best = prov
 		}
 	}
 	if best == nil {
@@ -144,6 +143,32 @@ func Plan(req Requirements) (*Provision, error) {
 			target, req.Errors.InjectError)
 	}
 	return best, nil
+}
+
+// planForK scans recursion depths for one block size and provisions the
+// shallowest viable depth (deeper recursion only costs more for a given
+// k); nil means no depth works for this k.
+func planForK(req Requirements, k int, target float64) (*Provision, error) {
+	for levels := 1; levels <= req.MaxLevels; levels++ {
+		p := bravyi.Params{K: k, Levels: levels, Reuse: levels >= 2, Barriers: true}
+		errs := req.Errors.RoundErrors(p)
+		out := errs[len(errs)-1]
+		if out > target {
+			continue
+		}
+		if p.TotalModules() > req.MaxModules {
+			return nil, nil // wider K at deeper levels only grows further
+		}
+		prov, err := provisionFor(req, p, target, out)
+		if err != nil {
+			return nil, err
+		}
+		if prov == nil {
+			continue // throughput unattainable (success prob ~ 0)
+		}
+		return prov, nil
+	}
+	return nil, nil
 }
 
 func provisionFor(req Requirements, p bravyi.Params, target, out float64) (*Provision, error) {

@@ -1,0 +1,92 @@
+// Package memo is the sweep engine's result cache: a concurrency-safe
+// memoization table with singleflight semantics. Keys are arbitrary
+// comparable values (the engine keys by core.Config; internal/core keys
+// force-directed candidate evaluations by their deterministic inputs),
+// and concurrent callers asking for the same key share one computation
+// instead of racing to repeat it.
+//
+// The package sits below every layer that needs caching — it depends on
+// nothing but the standard library, so both the engine (which depends on
+// core) and core itself can route repeated work through it without an
+// import cycle.
+package memo
+
+import "sync"
+
+// entry is one cached computation. The sync.Once gives singleflight
+// semantics: the first caller runs fn, concurrent callers for the same
+// key block until the value is ready, later callers read it for free.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Cache memoizes computations by comparable key. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[any]*entry
+	limit   int
+	hits    int64
+	misses  int64
+}
+
+// DefaultLimit is the entry count at which a cache built with New(0)
+// resets itself.
+const DefaultLimit = 4096
+
+// New returns an empty cache that coarsely resets once it holds limit
+// entries (0 means DefaultLimit). Deterministic workloads re-derive
+// evicted results at the cost of one recomputation, so the reset only
+// bounds memory, never changes answers.
+func New(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Cache{entries: make(map[any]*entry), limit: limit}
+}
+
+// Do returns the memoized result for key, running fn exactly once per
+// key (per cache generation). fn's error is cached too: deterministic
+// failures are as stable as deterministic successes.
+func (c *Cache) Do(key any, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if len(c.entries) >= c.limit {
+			c.entries = make(map[any]*entry)
+		}
+		e = &entry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Stats reports how many Do calls found an existing entry (hits) versus
+// created one (misses).
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry (the counters survive).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[any]*entry)
+}

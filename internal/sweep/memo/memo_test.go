@@ -1,0 +1,94 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	c := New(0)
+	calls := 0
+	fn := func() (any, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", fn)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+func TestDoCachesErrors(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Do(1, func() (any, error) { calls++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (any, error) {
+				calls.Add(1)
+				return "v", nil
+			})
+			if err != nil || v.(string) != "v" {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times under contention, want 1", n)
+	}
+}
+
+func TestLimitResets(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do(i, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 2 {
+		t.Fatalf("len = %d, want <= limit 2", c.Len())
+	}
+	// Evicted keys recompute and still return the right value.
+	v, err := c.Do(0, func() (any, error) { return 100, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 100 {
+		t.Fatalf("recomputed value = %v", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(0)
+	c.Do("a", func() (any, error) { return 1, nil })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("len after reset = %d", c.Len())
+	}
+}

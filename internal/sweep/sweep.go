@@ -1,0 +1,208 @@
+// Package sweep is the concurrent batch executor behind the repository's
+// evaluation pipeline. The paper's whole evaluation (§VIII) is a grid of
+// independent (capacity, level, strategy, style, seed) pipeline runs;
+// sweep accepts such a grid as a slice of core.Config points, executes it
+// on a bounded worker pool, and returns reports in the exact order the
+// points were submitted, so callers that used to write nested serial
+// loops get the same rows back regardless of worker count.
+//
+// The engine adds three things over a bare errgroup:
+//
+//   - memoization: identical Config points (several figures re-evaluate
+//     the same grid cells) are computed once per engine and shared, with
+//     singleflight semantics under concurrency;
+//   - deterministic ordering: results[i] always corresponds to
+//     cfgs[i]; on failure, the engine stops dispatching and reports
+//     the lowest-indexed point that ran and failed (a serial run
+//     reports exactly the first failure);
+//   - cancellation and progress: a context.Context stops the sweep
+//     between points, and an optional callback observes completion
+//     counts for long grids.
+//
+// Every pipeline stage the engine runs is deterministic per Config, so a
+// fixed-seed grid produces byte-identical results at any worker count —
+// the determinism regression test in internal/experiments holds the
+// repository to that.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"magicstate/internal/core"
+	"magicstate/internal/sweep/memo"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds pool concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	// 1 reproduces serial execution exactly.
+	Workers int
+	// Progress, when set, observes completion: it is called once per
+	// point as the point finishes — successfully, with an error, or
+	// skipped after an earlier failure — with the running done count
+	// and the batch total. A successful sweep always reaches done ==
+	// total; a failing sweep may stop short (the serial path returns at
+	// the first error). Calls are serialized by the engine; the
+	// callback itself need not be safe for concurrent use.
+	Progress func(done, total int)
+	// CacheLimit bounds the memo cache entry count (0 = memo.DefaultLimit).
+	CacheLimit int
+}
+
+// Engine is a reusable batch executor. An Engine is safe for concurrent
+// use; its memo cache persists across Run calls, so successive artifacts
+// in one process share grid points.
+type Engine struct {
+	workers  int
+	progress func(done, total int)
+	progMu   sync.Mutex
+	cache    *memo.Cache
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:  w,
+		progress: opts.Progress,
+		cache:    memo.New(opts.CacheLimit),
+	}
+}
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats reports memo cache hits and misses so far.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+
+// Run executes every Config point and returns the reports in input
+// order. Identical points are computed once (reports are shared — treat
+// them as read-only). On failure Run stops dispatching further points
+// and returns the lowest-indexed error among points that ran.
+func (e *Engine) Run(ctx context.Context, cfgs []core.Config) ([]*core.Report, error) {
+	return Map(ctx, e, cfgs, func(_ int, cfg core.Config) (*core.Report, error) {
+		return e.RunOne(cfg)
+	})
+}
+
+// RunOne executes a single Config through the engine's memo cache. It
+// is how grid stages that need per-point error context (or mix pipeline
+// runs with other work) still share the cache: call RunOne from inside
+// a Map function instead of core.Run.
+func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
+	v, err := e.cache.Do(cfg, func() (any, error) { return core.Run(cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Report), nil
+}
+
+// tick reports one completed point.
+func (e *Engine) tick(done *int, total int) {
+	if e.progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	*done++
+	e.progress(*done, total)
+	e.progMu.Unlock()
+}
+
+// Map runs fn over items on e's worker pool and returns the results in
+// input order. It is the engine's generic entry point for grid stages
+// that are not plain core.Config points (Monte-Carlo yield runs, stitch
+// hop sweeps, protocol provisioning, the planner's candidate scan). fn
+// must be safe for concurrent invocation and deterministic per item if
+// callers rely on reproducible output. On failure Map stops dispatching
+// further items and returns the lowest-indexed error among items that
+// ran (a serial run reports exactly the first failure).
+func Map[T, R any](ctx context.Context, e *Engine, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+
+	workers := e.workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var done int
+
+	if workers <= 1 {
+		// Serial fast path: identical control flow to the loops this
+		// engine replaced, including stopping at the first error.
+		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			e.tick(&done, len(items))
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(items))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				switch {
+				case failed.Load():
+					// Another point already failed; don't burn the rest
+					// of the grid's wall-clock on results that will be
+					// discarded.
+					errs[i] = errSkipped
+				case ctx.Err() != nil:
+					errs[i] = ctx.Err()
+					failed.Store(true)
+				default:
+					r, err := fn(i, items[i])
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+					} else {
+						results[i] = r
+					}
+				}
+				e.tick(&done, len(items))
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Report the lowest-indexed point that actually ran and failed
+	// (points skipped after the first failure never produced an error
+	// of their own).
+	for _, err := range errs {
+		if err != nil && err != errSkipped {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// errSkipped marks grid points abandoned because an earlier point
+// already failed; it is never returned to callers.
+var errSkipped = errors.New("sweep: point skipped after earlier failure")

@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"magicstate/internal/core"
+)
+
+func grid() []core.Config {
+	var cfgs []core.Config
+	for _, k := range []int{1, 2} {
+		for _, s := range []core.Strategy{core.StrategyLinear, core.StrategyRandom} {
+			cfgs = append(cfgs, core.Config{K: k, Levels: 1, Strategy: s, Seed: 7})
+		}
+	}
+	return cfgs
+}
+
+func TestRunMatchesSerialOrder(t *testing.T) {
+	cfgs := grid()
+	serial, err := New(Options{Workers: 1}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Options{Workers: 4}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(cfgs))
+	}
+	for i := range cfgs {
+		if serial[i].Config != cfgs[i] {
+			t.Fatalf("serial result %d is for %+v, want %+v", i, serial[i].Config, cfgs[i])
+		}
+		if serial[i].Latency != parallel[i].Latency ||
+			serial[i].Area != parallel[i].Area ||
+			serial[i].Volume != parallel[i].Volume {
+			t.Fatalf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunMemoizesDuplicates(t *testing.T) {
+	cfg := core.Config{K: 1, Levels: 1, Strategy: core.StrategyLinear, Seed: 1}
+	e := New(Options{Workers: 4})
+	reps, err := e.Run(context.Background(), []core.Config{cfg, cfg, cfg, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses := e.CacheStats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 for four identical points", misses)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i] != reps[0] {
+			t.Fatal("identical points should share one memoized report")
+		}
+	}
+	// A second Run on the same engine hits the cache entirely.
+	if _, err := e.Run(context.Background(), []core.Config{cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = e.CacheStats(); misses != 1 {
+		t.Fatalf("misses after second run = %d, want 1", misses)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls []int
+	e := New(Options{Workers: 3, Progress: func(done, total int) {
+		if total != 4 {
+			t.Errorf("total = %d, want 4", total)
+		}
+		calls = append(calls, done)
+	}})
+	if _, err := e.Run(context.Background(), grid()); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("progress called %d times, want 4", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done counts %v not monotonic", calls)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := New(Options{Workers: workers}).Run(ctx, grid())
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMapFirstIndexError(t *testing.T) {
+	// Serial execution reports exactly the first failure.
+	e := New(Options{Workers: 1})
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fail := func(i, v int) (int, error) {
+		if v >= 3 {
+			return 0, fmt.Errorf("item %d failed", v)
+		}
+		return v * v, nil
+	}
+	_, err := Map(context.Background(), e, items, fail)
+	if err == nil || err.Error() != "item 3 failed" {
+		t.Fatalf("serial err = %v, want item 3's failure", err)
+	}
+	// Parallel execution stops dispatching after a failure and reports
+	// the lowest-indexed point that ran and failed — some failing item,
+	// never a skipped sentinel or nil.
+	_, err = Map(context.Background(), New(Options{Workers: 4}), items, fail)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("parallel err = %v, want a real item failure", err)
+	}
+}
+
+func TestMapFailFastSkipsAndTicks(t *testing.T) {
+	var started atomic.Int64
+	var ticks int
+	items := make([]int, 64)
+	e := New(Options{Workers: 2, Progress: func(done, total int) {
+		if total != len(items) {
+			t.Errorf("total = %d, want %d", total, len(items))
+		}
+		ticks = done
+	}})
+	_, err := Map(context.Background(), e, items, func(i, v int) (int, error) {
+		started.Add(1)
+		return 0, fmt.Errorf("item %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	// After the first failure the pool skips remaining points instead
+	// of computing them...
+	if n := started.Load(); n >= int64(len(items)) {
+		t.Fatalf("all %d points ran despite fail-fast", n)
+	}
+	// ...but every point (run or skipped) still ticks progress.
+	if ticks != len(items) {
+		t.Fatalf("progress reached %d/%d", ticks, len(items))
+	}
+}
+
+func TestMapOrderingAndEmpty(t *testing.T) {
+	e := New(Options{Workers: 8})
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), e, items, func(i, v int) (int, error) {
+		return v * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	empty, err := Map(context.Background(), e, nil, func(i, v int) (int, error) { return 0, nil })
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty map = %v, %v", empty, err)
+	}
+}
+
+func TestRunSurfacesPipelineError(t *testing.T) {
+	bad := core.Config{K: -1, Levels: 1, Strategy: core.StrategyLinear}
+	for _, workers := range []int{1, 4} {
+		_, err := New(Options{Workers: workers}).Run(context.Background(), []core.Config{bad})
+		if err == nil {
+			t.Fatalf("workers=%d: invalid config should fail", workers)
+		}
+	}
+}

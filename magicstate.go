@@ -115,33 +115,23 @@ type Result struct {
 }
 
 // Optimize builds, maps and simulates the factory described by spec.
+// For grids of factories, OptimizeBatch evaluates many specs on a
+// worker pool with the same per-point results.
 func Optimize(spec FactorySpec, opts Options) (*Result, error) {
-	p, err := spec.Params()
+	cfg, err := optimizeConfig(spec, opts)
 	if err != nil {
 		return nil, err
 	}
-	strat := core.Strategy(opts.Strategy)
-	if !opts.strategySet && opts.Strategy == RandomMapping {
-		if spec.Levels >= 2 {
-			strat = core.StrategyStitch
-		} else {
-			strat = core.StrategyLinear
-		}
-	}
-	rep, err := core.Run(core.Config{
-		K:           p.K,
-		Levels:      p.Levels,
-		Reuse:       spec.Reuse,
-		NoBarriers:  opts.DisableBarriers,
-		Strategy:    strat,
-		Seed:        opts.Seed,
-		Style:       mesh.InteractionStyle(opts.Style),
-		Distance:    opts.Distance,
-		RecordPaths: opts.Trace,
-	})
+	rep, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return resultFromReport(rep, opts)
+}
+
+// resultFromReport converts a pipeline report to the public Result,
+// rendering the utilization trace when requested.
+func resultFromReport(rep *core.Report, opts Options) (*Result, error) {
 	res := &Result{
 		Latency:            rep.Latency,
 		Area:               rep.Area,
