@@ -135,6 +135,7 @@ func BenchmarkAblationRouting(b *testing.B) {
 		mode mesh.RouteMode
 	}{{"xy", mesh.RouteXY}, {"box", mesh.RouteBox}, {"adaptive", mesh.RouteAdaptive}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := mesh.Simulate(f.Circuit, pl, mesh.Config{Mode: mode.mode})
 				if err != nil {
@@ -223,6 +224,7 @@ func BenchmarkSimulateSingleLevelK8(b *testing.B) {
 		b.Fatal(err)
 	}
 	pl := layout.Linear(f)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mesh.Simulate(f.Circuit, pl, mesh.Config{}); err != nil {
@@ -237,9 +239,30 @@ func BenchmarkSimulateTwoLevelK64(b *testing.B) {
 		b.Fatal(err)
 	}
 	pl := layout.Linear(f)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mesh.Simulate(f.Circuit, pl, mesh.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorReuseTwoLevelK64 measures the caller-owned Simulator
+// path: arenas, lattice and dependency DAG all carry over between runs,
+// which is the steady state of the planner's candidate search and the FD
+// mapper's paired evaluations.
+func BenchmarkSimulatorReuseTwoLevelK64(b *testing.B) {
+	f, err := bravyi.Build(bravyi.Params{K: 8, Levels: 2, Barriers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := layout.Linear(f)
+	sim := mesh.NewSimulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(f.Circuit, pl, mesh.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,6 +281,7 @@ func BenchmarkGraphPartitionEmbed(b *testing.B) {
 }
 
 func BenchmarkStitchBuildK36(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := stitch.Build(bravyi.Params{K: 6, Levels: 2, Barriers: true},
 			stitch.Options{Seed: 1, Reuse: true, Hops: stitch.AnnealedMidpointHop}); err != nil {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/experiments"
+	"magicstate/internal/layout"
+	"magicstate/internal/mesh"
+	"magicstate/internal/stitch"
+)
+
+// benchResult is one workload's measurement in the -bench snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSnapshot is the machine-readable perf snapshot -bench emits; CI
+// archives one per run and BENCH_PR2.json pins the PR-2 before/after pair
+// so the bench trajectory has a seed.
+type benchSnapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// runBenchSuite measures the simulator and stitcher hot paths the repo's
+// Go benchmarks track (simulate micro benches, simulator reuse, stitch
+// build, and a cold end-to-end Table I pass) and writes the snapshot as
+// JSON to path ("-" for stdout).
+func runBenchSuite(path string) error {
+	snap := benchSnapshot{
+		Schema:    "paperbench-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	k8, err := bravyi.Build(bravyi.Params{K: 8, Levels: 1})
+	if err != nil {
+		return err
+	}
+	k8pl := layout.Linear(k8)
+	k64, err := bravyi.Build(bravyi.Params{K: 8, Levels: 2, Barriers: true})
+	if err != nil {
+		return err
+	}
+	k64pl := layout.Linear(k64)
+
+	snap.Benchmarks = append(snap.Benchmarks, toResult("simulate_single_level_k8",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mesh.Simulate(k8.Circuit, k8pl, mesh.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	snap.Benchmarks = append(snap.Benchmarks, toResult("simulate_two_level_k64",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mesh.Simulate(k64.Circuit, k64pl, mesh.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	sim := mesh.NewSimulator()
+	snap.Benchmarks = append(snap.Benchmarks, toResult("simulator_reuse_two_level_k64",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Simulate(k64.Circuit, k64pl, mesh.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	snap.Benchmarks = append(snap.Benchmarks, toResult("stitch_build_k36",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stitch.Build(bravyi.Params{K: 6, Levels: 2, Barriers: true},
+					stitch.Options{Seed: 1, Reuse: true, Hops: stitch.AnnealedMidpointHop}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+
+	// Cold end-to-end Table I (quick grids). The sweep engine memoizes
+	// grid points process-wide, so only the first pass is meaningful:
+	// measure it once with the allocator's own counters.
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := experiments.Table1([]int{2, 4}, []int{4, 16}, 1); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	snap.Benchmarks = append(snap.Benchmarks, benchResult{
+		Name:        "table1_quick_cold",
+		Iterations:  1,
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+	})
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote perf snapshot to %s\n", path)
+	return nil
+}

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	paperbench [-seed N] [-quick] [-parallel N] [-progress] [artifact ...]
+//	paperbench -bench FILE        # machine-readable perf snapshot, then exit
+//	paperbench -cpuprofile FILE [-memprofile FILE] [artifact ...]
 //
 // Artifacts: fig6 fig7a fig7b fig9ab fig9d fig10a fig10b table1 all
 // (fig10a covers the single-level panels 10a/10b/10e; fig10b the
@@ -25,6 +27,14 @@
 // -progress reports per-artifact grid completion ("fig10b 7/16 points")
 // on stderr as long sweeps run; stdout stays clean for the artifacts
 // themselves.
+//
+// -bench FILE runs the repo's simulator/stitcher perf workloads in
+// process and writes a machine-readable JSON snapshot (see bench.go) to
+// FILE ("-" for stdout), then exits; CI archives these and
+// BENCH_PR2.json pins the PR-2 before/after numbers. -cpuprofile and
+// -memprofile capture pprof profiles of whatever artifacts (or -bench
+// suite) the invocation runs — the profiling workflow is documented in
+// DESIGN.md.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +58,9 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep-engine workers per experiment grid (1 = serial)")
 	progress := flag.Bool("progress", false, "report per-artifact grid progress on stderr")
+	benchOut := flag.String("bench", "", "run the perf workloads and write a JSON snapshot to this file (- for stdout), then exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	// Parse flags interleaved with artifact names, so
 	// `paperbench all -quick -parallel 4` means what it says (the stdlib
 	// parser would silently treat everything after `all` as artifacts).
@@ -64,6 +78,51 @@ func main() {
 		rest = rest[1:]
 	}
 
+	// Profiles must be flushed on every exit path — os.Exit skips defers,
+	// and a profile of a failing run is exactly the one worth keeping —
+	// so error paths below go through exitWith, not os.Exit.
+	stopProfiles := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	exitWith := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	defer stopProfiles()
+
+	if *benchOut != "" {
+		if err := runBenchSuite(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitWith(1)
+		}
+		return
+	}
+
 	var artifact atomic.Value // name of the artifact currently sweeping
 	artifact.Store("")
 	var progressFn func(done, total int)
@@ -79,7 +138,7 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exitWith(1)
 		}
 	}
 	writeCSV := func(name string, header []string, rows [][]string) {
@@ -89,7 +148,7 @@ func main() {
 		f, err := os.Create(filepath.Join(*csvDir, name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exitWith(1)
 		}
 		defer f.Close()
 		experiments.CSV(f, header, rows)
@@ -110,7 +169,7 @@ func main() {
 	for _, a := range artifacts {
 		if !known[a] {
 			fmt.Fprintf(os.Stderr, "unknown artifact %q (see doc comment for the list)\n", a)
-			os.Exit(2)
+			exitWith(2)
 		}
 		want[a] = true
 	}
@@ -142,7 +201,7 @@ func main() {
 				fmt.Fprintln(os.Stderr) // finish any partial \r progress line
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			exitWith(1)
 		}
 		fmt.Fprintf(os.Stderr, "(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
 		fmt.Println()
@@ -240,7 +299,7 @@ func main() {
 				fmt.Fprintln(os.Stderr) // finish any partial \r progress line
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			exitWith(1)
 		}
 		fmt.Fprintf(os.Stderr, "(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
 		fmt.Println()

@@ -14,24 +14,65 @@ type DAG struct {
 // Deps builds the dependency DAG of c. Each gate depends on the most
 // recent earlier gate touching each of its operands (one edge per operand
 // chain, deduplicated).
+//
+// The successor lists are laid out as slices of one shared backing array
+// (CSR form), so building the DAG costs a constant number of allocations
+// regardless of circuit size; the simulator caches the result per circuit
+// and reuses it across repeated simulations.
 func Deps(c *Circuit) *DAG {
-	d := &DAG{NumGates: len(c.Gates)}
-	d.Succ = make([][]int, len(c.Gates))
-	d.preds = make([]int, len(c.Gates))
+	n := len(c.Gates)
+	d := &DAG{NumGates: n}
+	d.Succ = make([][]int, n)
+	d.preds = make([]int, n)
 	last := make([]int, c.NumQubits)
 	for i := range last {
 		last[i] = -1
 	}
+	// Pass 1: collect deduplicated (pred, gate) edges in discovery order
+	// and count out-degrees. A gate's distinct predecessors are bounded by
+	// its operand count, so an O(k^2) scan over a small buffer replaces the
+	// per-gate map.
+	type edge struct{ p, i int }
+	edges := make([]edge, 0, 2*n)
+	outdeg := make([]int, n)
+	var ops []Qubit
+	var pbuf []int
 	for i := range c.Gates {
-		seen := make(map[int]bool)
-		for _, q := range c.Gates[i].Operands() {
-			if p := last[q]; p >= 0 && p != i && !seen[p] {
-				d.Succ[p] = append(d.Succ[p], i)
-				d.preds[i]++
-				seen[p] = true
+		ops = c.Gates[i].AppendOperands(ops[:0])
+		pbuf = pbuf[:0]
+		for _, q := range ops {
+			if p := last[q]; p >= 0 && p != i {
+				dup := false
+				for _, e := range pbuf {
+					if e == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					pbuf = append(pbuf, p)
+					edges = append(edges, edge{p, i})
+					outdeg[p]++
+					d.preds[i]++
+				}
 			}
 			last[q] = i
 		}
+	}
+	// Pass 2: carve Succ out of one backing array and fill it. Edges were
+	// recorded with ascending gate index, so each successor list comes out
+	// sorted, matching the per-gate append order of the naive build.
+	backing := make([]int, len(edges))
+	off := 0
+	for p, deg := range outdeg {
+		if deg == 0 {
+			continue
+		}
+		d.Succ[p] = backing[off : off : off+deg]
+		off += deg
+	}
+	for _, e := range edges {
+		d.Succ[e.p] = append(d.Succ[e.p], e.i)
 	}
 	return d
 }

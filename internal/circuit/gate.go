@@ -104,12 +104,18 @@ const NoQubit Qubit = -1
 // treats any shared qubit between consecutive instructions as a true
 // dependency (§VIII.A).
 func (g *Gate) Operands() []Qubit {
-	ops := make([]Qubit, 0, len(g.Targets)+1)
+	return g.AppendOperands(make([]Qubit, 0, len(g.Targets)+1))
+}
+
+// AppendOperands appends the gate's operands to buf in the same order as
+// Operands and returns the extended slice. Hot callers (dependency
+// analysis, interaction-graph extraction) pass a reused buffer to avoid a
+// per-gate allocation.
+func (g *Gate) AppendOperands(buf []Qubit) []Qubit {
 	if g.Control != NoQubit {
-		ops = append(ops, g.Control)
+		buf = append(buf, g.Control)
 	}
-	ops = append(ops, g.Targets...) // for Move, Targets[0] == Dest
-	return ops
+	return append(buf, g.Targets...) // for Move, Targets[0] == Dest
 }
 
 // String renders the gate in a compact assembly-like form.

@@ -70,7 +70,9 @@ type Config struct {
 	Seed int64
 	// Cost overrides the gate cost model (zero value = defaults).
 	Cost resource.CostModel
-	// Mesh overrides simulator knobs other than Cost.
+	// Mesh overrides simulator knobs other than Cost. RouteMargin follows
+	// mesh.Config's convention: 0 means the default margin of 2, and
+	// mesh.ZeroRouteMargin (-1) requests a true zero-margin box.
 	MeshMode    mesh.RouteMode
 	RouteMargin int
 	// Style selects the surface-code interaction discipline (§IX); the
@@ -248,8 +250,12 @@ func placeFD(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement
 		g := graph.FromCircuit(f.Circuit)
 		init := layout.Linear(f)
 		annealed := force.Anneal(g, f.Circuit, init, opt)
-		ri, err1 := mesh.Simulate(f.Circuit, init, mcfg)
-		ra, err2 := mesh.Simulate(f.Circuit, annealed, mcfg)
+		// Both candidates are evaluated on one reusable simulator: the
+		// second run reuses the first's arenas and cached dependency DAG
+		// (same circuit), paying only for the Result it returns.
+		sim := mesh.NewSimulator()
+		ri, err1 := sim.Simulate(f.Circuit, init, mcfg)
+		ra, err2 := sim.Simulate(f.Circuit, annealed, mcfg)
 		if err1 != nil {
 			return nil, err1
 		}

@@ -34,6 +34,10 @@ type SchedRow struct {
 // baseline so the schedule is the only variable.
 func SchedReorder(level int, capacities []int, seed int64) ([]SchedRow, error) {
 	cm := resource.DefaultCost()
+	// One reusable simulator serves every capacity point: the program and
+	// sifted schedules share placements, so the lattice and router arenas
+	// carry over between runs.
+	sim := mesh.NewSimulator()
 	var rows []SchedRow
 	for _, capn := range capacities {
 		p, err := bravyi.ParamsForCapacity(capn, level)
@@ -48,11 +52,11 @@ func SchedReorder(level int, capacities []int, seed int64) ([]SchedRow, error) {
 		pl := layout.Linear(f)
 		sifted := sched.SiftEarlier(f.Circuit)
 
-		simP, err := mesh.Simulate(f.Circuit, pl, mesh.Config{})
+		simP, err := sim.Simulate(f.Circuit, pl, mesh.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("sched cap %d program: %w", capn, err)
 		}
-		simS, err := mesh.Simulate(sifted, pl, mesh.Config{})
+		simS, err := sim.Simulate(sifted, pl, mesh.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("sched cap %d sifted: %w", capn, err)
 		}

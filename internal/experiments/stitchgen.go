@@ -54,6 +54,9 @@ func StitchGeneralization(seed int64) ([]StitchGenRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One reusable simulator for all eight runs (global + stitched per
+	// workload); arenas regrow to the largest placement and stay.
+	sim := mesh.NewSimulator()
 	var rows []StitchGenRow
 	for _, wl := range []workload{
 		{name: "hier-shuffled", c: shuffled},
@@ -62,7 +65,7 @@ func StitchGeneralization(seed int64) ([]StitchGenRow, error) {
 		{name: "qft-16", c: qft},
 	} {
 		pg := subdiv.GlobalEmbed(wl.c, seed)
-		simG, err := mesh.Simulate(wl.c, pg, mesh.Config{})
+		simG, err := sim.Simulate(wl.c, pg, mesh.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("stitchgen %s global: %w", wl.name, err)
 		}
@@ -70,7 +73,7 @@ func StitchGeneralization(seed int64) ([]StitchGenRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stitchgen %s stitch: %w", wl.name, err)
 		}
-		simS, err := mesh.Simulate(st.Circuit, st.Placement, mesh.Config{})
+		simS, err := sim.Simulate(st.Circuit, st.Placement, mesh.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("stitchgen %s stitched sim: %w", wl.name, err)
 		}

@@ -363,9 +363,11 @@ func (st *state) localCost(v int, sample []int) float64 {
 			}
 			ox, oy := st.midpoint(oi)
 			dx, dy := mx-ox, my-oy
-			d := math.Sqrt(dx*dx + dy*dy)
-			if d < 8 {
-				cost += spacingWeight * (8 - d) / 8
+			// The spacing penalty only fires under distance 8; comparing
+			// squared distances first skips the Sqrt for the typical far
+			// pair without changing any cost value.
+			if d2 := dx*dx + dy*dy; d2 < 64 {
+				cost += spacingWeight * (8 - math.Sqrt(d2)) / 8
 			}
 		}
 	}
@@ -396,8 +398,9 @@ func (st *state) communityAttract(comm []int, commCount int) {
 			side++
 		}
 		// Order members by current position (row-major) so targets keep
-		// relative order and moves do not cross each other.
-		ordered := append([]int(nil), vs...)
+		// relative order and moves do not cross each other. members was
+		// built fresh above, so the sort can run in place.
+		ordered := vs
 		sortBy(ordered, func(a, b int) bool {
 			pa, pb := st.p.At(a), st.p.At(b)
 			if pa.Y != pb.Y {

@@ -116,6 +116,16 @@ func max(a, b int) int {
 // endpoint do not (braids may share a qubit's neighborhood sequentially
 // without crossing).
 func SegmentsConflict(s1, s2 Segment) bool {
+	// Disjoint bounding boxes cannot intersect, overlap, or share an
+	// endpoint (any such point would lie in both boxes). This rejects the
+	// typical far-apart pair with integer compares before any
+	// cross-product math — the annealer's cost loop lives here.
+	if max(s1.A.X, s1.B.X) < min(s2.A.X, s2.B.X) ||
+		max(s2.A.X, s2.B.X) < min(s1.A.X, s1.B.X) ||
+		max(s1.A.Y, s1.B.Y) < min(s2.A.Y, s2.B.Y) ||
+		max(s2.A.Y, s2.B.Y) < min(s1.A.Y, s1.B.Y) {
+		return false
+	}
 	shared := 0
 	if s1.A == s2.A || s1.A == s2.B {
 		shared++

@@ -18,6 +18,11 @@ type Lattice struct {
 	TileW, TileH int
 	CW, CH       int // cell grid dimensions: 2W+1 x 2H+1
 	isTile       []bool
+	// ports[y*TileW+x] lists the channel cells adjacent to tile (x, y),
+	// all carved from one backing array. The simulator reads these slices
+	// on every braid start, so they are precomputed once per lattice and
+	// must be treated as read-only.
+	ports [][]int
 }
 
 // NewLattice builds the lattice for a W x H tile grid.
@@ -29,7 +34,28 @@ func NewLattice(tileW, tileH int) *Lattice {
 			l.isTile[l.CellIndex(2*x+1, 2*y+1)] = true
 		}
 	}
+	l.ports = make([][]int, tileW*tileH)
+	backing := make([]int, 0, 4*tileW*tileH)
+	var nbuf [4]int
+	for y := 0; y < tileH; y++ {
+		for x := 0; x < tileW; x++ {
+			start := len(backing)
+			for _, c := range l.NeighborCells(l.CellIndex(2*x+1, 2*y+1), nbuf[:0]) {
+				if !l.isTile[c] {
+					backing = append(backing, c)
+				}
+			}
+			l.ports[y*tileW+x] = backing[start:len(backing):len(backing)]
+		}
+	}
 	return l
+}
+
+// PortsOf returns the cached channel cells adjacent to tile pt. The
+// returned slice is shared and must not be modified; use TilePorts for a
+// caller-owned copy.
+func (l *Lattice) PortsOf(pt layout.Point) []int {
+	return l.ports[pt.Y*l.TileW+pt.X]
 }
 
 // Cells returns the total cell count.
@@ -65,15 +91,8 @@ func (l *Lattice) NeighborCells(ci int, buf []int) []int {
 	return buf
 }
 
-// TilePorts returns the channel cells adjacent to a tile (its braid entry
-// points).
+// TilePorts appends the channel cells adjacent to a tile (its braid entry
+// points) to buf and returns it.
 func (l *Lattice) TilePorts(pt layout.Point, buf []int) []int {
-	ci := l.TileCell(pt)
-	nb := l.NeighborCells(ci, nil)
-	for _, c := range nb {
-		if !l.isTile[c] {
-			buf = append(buf, c)
-		}
-	}
-	return buf
+	return append(buf, l.PortsOf(pt)...)
 }

@@ -57,7 +57,7 @@ func TestRouterFindsAndBlocksPaths(t *testing.T) {
 	r := newRouter(l)
 	src := l.TilePorts(layout.Point{X: 0, Y: 0}, nil)
 	dst := l.TilePorts(layout.Point{X: 2, Y: 0}, nil)
-	path := r.route(src, dst, 0)
+	path, _ := r.route(src, dst, 0)
 	if path == nil {
 		t.Fatal("route on empty lattice failed")
 	}
@@ -74,10 +74,14 @@ func TestRouterFindsAndBlocksPaths(t *testing.T) {
 		}
 	}
 	r.reserve(all, 100)
-	if r.route(src, dst, 50) != nil {
+	blockedPath, clearAt := r.route(src, dst, 50)
+	if blockedPath != nil {
 		t.Error("route should fail while cells are reserved")
 	}
-	if r.route(src, dst, 100) == nil {
+	if clearAt != 100 {
+		t.Errorf("blocked route retry bound = %d, want 100 (the reservation expiry)", clearAt)
+	}
+	if p, _ := r.route(src, dst, 100); p == nil {
 		t.Error("route should succeed after reservations expire")
 	}
 }

@@ -1,9 +1,8 @@
 package mesh
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"sync"
 
 	"magicstate/internal/circuit"
 	"magicstate/internal/layout"
@@ -19,7 +18,10 @@ type Config struct {
 	// Mode selects the braid routing discipline (default RouteXY).
 	Mode RouteMode
 	// RouteMargin is how many cells beyond its endpoints' bounding box a
-	// braid may route through in RouteBox mode (zero means 2).
+	// braid may route through in RouteBox mode. The zero value means the
+	// default of 2 — NOT a zero-margin box; pass ZeroRouteMargin (or any
+	// negative value) for a braid confined strictly to its endpoints'
+	// bounding box.
 	RouteMargin int
 	// RecordPaths keeps every braid's claimed cells in Result.Paths so
 	// invariants (no two braids overlap in space and time) can be audited
@@ -35,6 +37,12 @@ type Config struct {
 	// entanglement distribution (zero means 2).
 	EprCycles int
 }
+
+// ZeroRouteMargin requests a true zero-margin routing box in RouteBox
+// mode. Config.RouteMargin's zero value historically (and still) means
+// "use the default margin of 2", which made an actual zero-margin box
+// unexpressible; this sentinel resolves the ambiguity.
+const ZeroRouteMargin = -1
 
 // RouteMode selects how braids claim paths.
 type RouteMode int
@@ -61,6 +69,8 @@ func (cfg *Config) fill() {
 	}
 	if cfg.RouteMargin == 0 {
 		cfg.RouteMargin = 2
+	} else if cfg.RouteMargin < 0 {
+		cfg.RouteMargin = 0
 	}
 	cfg.fillStyle()
 }
@@ -72,7 +82,10 @@ type Result struct {
 	// Start and End give per-gate timing (End exclusive).
 	Start, End []int
 	// Stalls counts braid start attempts rejected for lack of a
-	// conflict-free path.
+	// conflict-free path. The event-driven engine only re-attempts a
+	// blocked braid once the reservations it was waiting on could have
+	// expired, so this counts distinct meaningful rejections rather than
+	// every hopeless per-cycle retry.
 	Stalls int
 	// Area is the bounding-box tile area of the placement simulated.
 	Area int
@@ -122,215 +135,21 @@ func (r *Result) Volume() resource.Volume {
 	return resource.Volume{Area: r.Area, Latency: r.Latency}
 }
 
-type completion struct {
-	t    int
-	gate int
-}
-
-type completionHeap []completion
-
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// simPool recycles Simulators across Simulate calls so even one-shot
+// callers reuse arenas instead of reallocating lattice, router and queue
+// state per run. Each Get hands a goroutine an exclusive instance, so the
+// sweep engine's parallel workers share the pool safely.
+var simPool = sync.Pool{New: func() any { return NewSimulator() }}
 
 // Simulate executes c on the braid mesh defined by p and returns timing.
-// Gates issue in dependency order; braids that cannot claim a
-// conflict-free channel path stall until running braids release cells.
+// It is a thin wrapper around a pooled Simulator; callers that simulate
+// in a loop can hold their own Simulator to also reuse the cached
+// dependency DAG and lattice across calls.
 func Simulate(c *circuit.Circuit, p *layout.Placement, cfg Config) (*Result, error) {
-	cfg.fill()
-	if len(p.Pos) != c.NumQubits {
-		return nil, fmt.Errorf("mesh: placement covers %d qubits, circuit has %d", len(p.Pos), c.NumQubits)
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("mesh: %w", err)
-	}
-	lat := NewLattice(p.W, p.H)
-	rt := newRouter(lat)
-
-	dag := circuit.Deps(c)
-	n := len(c.Gates)
-	res := &Result{
-		Start: make([]int, n),
-		End:   make([]int, n),
-		Area:  p.Area(),
-	}
-	if cfg.RecordPaths {
-		res.Paths = make([][]int, n)
-		res.HoldEnd = make([]int, n)
-	}
-	for i := range res.Start {
-		res.Start[i] = -1
-		res.End[i] = -1
-	}
-	indeg := make([]int, n)
-	for i := 0; i < n; i++ {
-		indeg[i] = dag.InDegree(i)
-	}
-
-	// avail holds ready-but-unstarted gates in program order. retryAt
-	// skips hopeless routing attempts: a blocked XY braid cannot start
-	// before the reservations on its candidate paths expire.
-	var avail []int
-	retryAt := make([]int, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			avail = append(avail, i)
-		}
-	}
-	var comps completionHeap
-	completed := 0
-	t := 0
-
-	portBuf := make([][]int, 0, 8)
-	finish := func(gi, at int) {
-		completed++
-		for _, s := range dag.Succ[gi] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				avail = append(avail, s)
-			}
-		}
-		_ = at
-	}
-
-	for completed < n {
-		if t > cfg.MaxCycles {
-			return nil, fmt.Errorf("mesh: exceeded %d cycles with %d/%d gates done", cfg.MaxCycles, completed, n)
-		}
-		// Attempt to start every available gate; zero-duration gates
-		// complete inline and may enable more (finish appends to avail),
-		// so loop until quiescent. sort keeps program-order arbitration.
-		for progress := true; progress; {
-			progress = false
-			sort.Ints(avail)
-			pending := avail
-			avail = nil // finish() appends newly-ready gates here
-			var next []int
-			for _, gi := range pending {
-				g := &c.Gates[gi]
-				if retryAt[gi] > t {
-					next = append(next, gi)
-					continue
-				}
-				dur, hold := cfg.styleCycles(g)
-				if dur == 0 {
-					res.Start[gi], res.End[gi] = t, t
-					finish(gi, t)
-					progress = true
-					continue
-				}
-				if !g.Kind.IsTwoQubit() {
-					res.Start[gi], res.End[gi] = t, t+dur
-					heap.Push(&comps, completion{t + dur, gi})
-					progress = true
-					continue
-				}
-				setBox := func(groups ...[]int) {
-					if cfg.Mode == RouteAdaptive {
-						rt.box = lat.wholeGrid()
-						return
-					}
-					var all []int
-					for _, gp := range groups {
-						all = append(all, gp...)
-					}
-					rt.box = lat.boxAround(all, cfg.RouteMargin)
-				}
-				routePair := func(srcQ, dstQ circuit.Qubit) []int {
-					if cfg.Mode == RouteXY {
-						path, clearAt := rt.routeXY(p.At(int(srcQ)), p.At(int(dstQ)), t)
-						if path == nil {
-							retryAt[gi] = clearAt
-						}
-						return path
-					}
-					src := lat.TilePorts(p.At(int(srcQ)), nil)
-					dst := lat.TilePorts(p.At(int(dstQ)), nil)
-					setBox(src, dst)
-					return rt.route(src, dst, t)
-				}
-				var path []int
-				switch g.Kind {
-				case circuit.KindCXX:
-					if cfg.Mode == RouteXY {
-						tgts := make([]layout.Point, len(g.Targets))
-						for i, tq := range g.Targets {
-							tgts[i] = p.At(int(tq))
-						}
-						var clearAt int
-						path, clearAt = rt.routeXYTree(p.At(int(g.Control)), tgts, t)
-						if path == nil {
-							retryAt[gi] = clearAt
-						}
-						break
-					}
-					portBuf = portBuf[:0]
-					portBuf = append(portBuf, lat.TilePorts(p.At(int(g.Control)), nil))
-					for _, tq := range g.Targets {
-						portBuf = append(portBuf, lat.TilePorts(p.At(int(tq)), nil))
-					}
-					setBox(portBuf...)
-					path = rt.routeTree(portBuf, t)
-				case circuit.KindMove:
-					path = routePair(g.Control, g.Dest)
-				default: // CNOT, InjectT, InjectTdag
-					if g.Control == circuit.NoQubit {
-						// Ambient injection: local operation on the target.
-						res.Start[gi], res.End[gi] = t, t+dur
-						heap.Push(&comps, completion{t + dur, gi})
-						progress = true
-						continue
-					}
-					path = routePair(g.Control, g.Targets[0])
-				}
-				if path == nil {
-					res.Stalls++
-					next = append(next, gi)
-					continue
-				}
-				rt.reserve(path, t+hold)
-				if cfg.RecordPaths {
-					res.Paths[gi] = append([]int(nil), path...)
-					res.HoldEnd[gi] = t + hold
-				}
-				res.Start[gi], res.End[gi] = t, t+dur
-				heap.Push(&comps, completion{t + dur, gi})
-				progress = true
-			}
-			avail = append(avail, next...)
-		}
-		if completed >= n {
-			break
-		}
-		if comps.Len() == 0 {
-			return nil, fmt.Errorf("mesh: deadlock at cycle %d: %d gates stuck, none running", t, len(avail))
-		}
-		// Advance to the next completion and drain all completions there.
-		t = comps[0].t
-		for comps.Len() > 0 && comps[0].t == t {
-			cm := heap.Pop(&comps).(completion)
-			finish(cm.gate, t)
-			if t > res.Latency {
-				res.Latency = t
-			}
-		}
-	}
-	if res.Latency == 0 {
-		for _, e := range res.End {
-			if e > res.Latency {
-				res.Latency = e
-			}
-		}
-	}
-	return res, nil
+	s := simPool.Get().(*Simulator)
+	res, err := s.Simulate(c, p, cfg)
+	simPool.Put(s)
+	return res, err
 }
 
 // PhaseWindow returns the [start, end) cycle window spanned by the gates

@@ -1,0 +1,157 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/layout"
+)
+
+// fingerprint renders every externally visible field of a Result so two
+// runs can be compared byte-for-byte.
+func fingerprint(r *Result) string {
+	return fmt.Sprintf("lat=%d stalls=%d area=%d start=%v end=%v paths=%v holdend=%v",
+		r.Latency, r.Stalls, r.Area, r.Start, r.End, r.Paths, r.HoldEnd)
+}
+
+// TestSimulatorReuseMatchesFresh is the arena-reuse property test: one
+// Simulator run many times — across routing modes, interaction styles,
+// and interleaved circuits/placements of different sizes (forcing arena
+// regrowth and lattice/DAG cache evictions) — must produce results
+// byte-identical to a fresh Simulator per call, and every recorded run
+// must still satisfy the no-overlap braid invariant.
+func TestSimulatorReuseMatchesFresh(t *testing.T) {
+	small, err := bravyi.Build(bravyi.Params{K: 2, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := bravyi.Build(bravyi.Params{K: 2, Levels: 2, Barriers: true, Reuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type workload struct {
+		name string
+		f    *bravyi.Factory
+		pl   *layout.Placement
+	}
+	workloads := []workload{
+		{"small-linear", small, layout.Linear(small)},
+		{"big-linear", big, layout.Linear(big)},
+		{"small-random", small, layout.Random(small.Circuit.NumQubits, rand.New(rand.NewSource(11)))},
+	}
+	reused := NewSimulator()
+	for _, mode := range []RouteMode{RouteXY, RouteBox, RouteAdaptive} {
+		for _, style := range Styles() {
+			cfg := Config{Mode: mode, Style: style, Distance: 9, RecordPaths: true}
+			for rep := 0; rep < 2; rep++ {
+				for _, wl := range workloads {
+					label := fmt.Sprintf("%s/%s/%s/rep%d", mode.name(), style, wl.name, rep)
+					fresh, err := NewSimulator().Simulate(wl.f.Circuit, wl.pl, cfg)
+					if err != nil {
+						t.Fatalf("%s: fresh: %v", label, err)
+					}
+					pooled, err := reused.Simulate(wl.f.Circuit, wl.pl, cfg)
+					if err != nil {
+						t.Fatalf("%s: reused: %v", label, err)
+					}
+					if got, want := fingerprint(pooled), fingerprint(fresh); got != want {
+						t.Fatalf("%s: reused simulator diverged from fresh\nreused: %s\nfresh:  %s", label, got, want)
+					}
+					if err := pooled.CheckNoOverlaps(); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (m RouteMode) name() string {
+	switch m {
+	case RouteXY:
+		return "xy"
+	case RouteBox:
+		return "box"
+	case RouteAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// TestPooledSimulateMatchesOwnedSimulator pins the compatibility wrapper:
+// mesh.Simulate (pool-backed) must agree with a caller-owned Simulator.
+func TestPooledSimulateMatchesOwnedSimulator(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 4, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := layout.Linear(f)
+	cfg := Config{RecordPaths: true}
+	owned := NewSimulator()
+	for rep := 0; rep < 3; rep++ {
+		a, err := Simulate(f.Circuit, pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := owned.Simulate(f.Circuit, pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(a) != fingerprint(b) {
+			t.Fatalf("rep %d: pooled Simulate diverged from owned Simulator\npooled: %s\nowned:  %s",
+				rep, fingerprint(a), fingerprint(b))
+		}
+	}
+}
+
+// TestRouteMarginSentinel pins the RouteMargin zero-value contract: 0
+// keeps meaning the historical default of 2, and ZeroRouteMargin (or any
+// negative value) now expresses the previously unexpressible true
+// zero-margin box.
+func TestRouteMarginSentinel(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{0, 2},               // zero value -> historical default
+		{ZeroRouteMargin, 0}, // sentinel -> true zero margin
+		{-3, 0},              // any negative -> true zero margin
+		{1, 1},               // explicit positive passes through
+		{5, 5},
+	}
+	for _, c := range cases {
+		cfg := Config{RouteMargin: c.in}
+		cfg.fill()
+		if cfg.RouteMargin != c.want {
+			t.Errorf("RouteMargin %d filled to %d, want %d", c.in, cfg.RouteMargin, c.want)
+		}
+	}
+}
+
+// TestZeroRouteMarginRuns exercises RouteBox with a genuine zero-margin
+// box end to end: the run must complete, obey the no-overlap invariant,
+// and (being strictly more constrained) never stall less than the
+// default-margin run.
+func TestZeroRouteMarginRuns(t *testing.T) {
+	f, err := bravyi.Build(bravyi.Params{K: 4, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := layout.Linear(f)
+	tight, err := Simulate(f.Circuit, pl, Config{Mode: RouteBox, RouteMargin: ZeroRouteMargin, RecordPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.CheckNoOverlaps(); err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := Simulate(f.Circuit, pl, Config{Mode: RouteBox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Latency < roomy.Latency {
+		t.Errorf("zero-margin latency %d below default-margin latency %d; tighter boxes cannot help",
+			tight.Latency, roomy.Latency)
+	}
+}
