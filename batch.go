@@ -13,7 +13,9 @@ import (
 // picks the same defaults as Optimize (hierarchical stitching for
 // multi-level factories, the linear mapping otherwise).
 type BatchPoint struct {
+	// Spec is the factory to build, map and simulate.
 	Spec FactorySpec
+	// Opts carries the per-point options Optimize would take.
 	Opts Options
 }
 
@@ -30,6 +32,18 @@ type BatchOptions struct {
 	Progress func(done, total int)
 	// Context cancels the batch between points (nil means Background).
 	Context context.Context
+	// Checkpoint, when non-empty, backs the batch with a durable result
+	// store in that directory (created or crash-recovered on open):
+	// points computed by any earlier run against the same directory are
+	// served from disk, and points this batch computes are persisted for
+	// the next one. A killed sweep restarted with the same Checkpoint
+	// therefore recomputes only what it had not yet finished. One writer
+	// per directory at a time: a second concurrent open of the same
+	// directory in this process fails, and concurrent writers from
+	// different processes are the caller's to prevent. Callers issuing
+	// many batches should hold one Batcher instead of paying the store
+	// open/close per call.
+	Checkpoint string
 }
 
 // OptimizeBatch builds, maps and simulates every point of a sweep grid
@@ -37,6 +51,10 @@ type BatchOptions struct {
 // results[i] answers points[i]. Identical points are evaluated once and
 // share a result. The first failing point (lowest index) aborts the
 // batch, matching what a serial loop over Optimize would report.
+//
+// With BatchOptions.Checkpoint set, the batch additionally reads and
+// writes a durable result store, so repeated points are computed once
+// across processes, not just within one (see Batcher).
 //
 // OptimizeBatch is how sweep-style workloads — the paper's capacity x
 // strategy evaluation grids, parameter studies, seed ensembles — scale
@@ -48,10 +66,12 @@ type BatchOptions struct {
 //	}
 //	results, err := magicstate.OptimizeBatch(points, magicstate.BatchOptions{})
 func OptimizeBatch(points []BatchPoint, opts BatchOptions) ([]*Result, error) {
-	eng := sweep.New(sweep.Options{Workers: opts.Parallelism, Progress: opts.Progress})
-	return sweep.Map(opts.Context, eng, points, func(_ int, pt BatchPoint) (*Result, error) {
-		return optimizeOn(eng, pt.Spec, pt.Opts)
-	})
+	b, err := NewBatcher(BatcherOptions{Parallelism: opts.Parallelism, Checkpoint: opts.Checkpoint})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	return b.OptimizeBatch(points, opts)
 }
 
 // optimizeOn is Optimize routed through a sweep engine's memo cache.

@@ -1,0 +1,145 @@
+package magicstate
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"magicstate/internal/store"
+	"magicstate/internal/sweep"
+)
+
+// BatcherOptions configures a Batcher.
+type BatcherOptions struct {
+	// Parallelism is the widest worker pool the batcher will ever run
+	// (<= 0 means one worker per CPU). Individual batches can narrow it
+	// per call via BatchOptions.Parallelism but never widen it.
+	Parallelism int
+	// Checkpoint, when non-empty, is a directory holding a durable
+	// result store: every computed point is persisted there, and future
+	// batches — in this process or any later one — serve repeated points
+	// from disk instead of recomputing. The directory is created if
+	// missing; a store left behind by a killed process is recovered to
+	// its longest valid prefix on open.
+	Checkpoint string
+}
+
+// Batcher is a reusable optimization runner that carries one cache tier
+// — an in-memory memo and, with a checkpoint directory, a durable
+// on-disk store — across many Optimize and OptimizeBatch calls. The
+// one-shot package functions rebuild that state per call; a Batcher is
+// for the long-running callers the ROADMAP aims at (the msfud service
+// holds exactly one), where the same (capacity, level, strategy, style,
+// seed) points recur across requests and should be computed once, ever.
+//
+// A Batcher is safe for concurrent use. Close it when done; Close
+// flushes and releases the checkpoint store (a memory-only Batcher's
+// Close is a no-op).
+type Batcher struct {
+	eng *sweep.Engine
+	st  *store.Store
+}
+
+// NewBatcher builds a Batcher. An empty Checkpoint yields a memory-only
+// cache; a non-empty one opens (creating or crash-recovering as needed)
+// the durable store under that directory.
+func NewBatcher(opts BatcherOptions) (*Batcher, error) {
+	var st *store.Store
+	if opts.Checkpoint != "" {
+		var err error
+		if st, err = store.Open(opts.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	return &Batcher{
+		eng: sweep.New(sweep.Options{Workers: opts.Parallelism, Store: st}),
+		st:  st,
+	}, nil
+}
+
+// Optimize is Optimize routed through the batcher's cache tier: a point
+// already computed by this batcher (or stored by any earlier process
+// sharing the checkpoint directory) is served without running the
+// pipeline. Trace-carrying runs (Options.Trace) always compute — their
+// result includes simulation artifacts the store does not keep.
+func (b *Batcher) Optimize(spec FactorySpec, opts Options) (*Result, error) {
+	return optimizeOn(b.eng, spec, opts)
+}
+
+// OptimizeBatch evaluates points like the package-level OptimizeBatch,
+// but on the batcher's shared cache tier. opts.Parallelism below the
+// batcher's width narrows the pool for this call; zero or anything
+// wider uses the batcher's width. The durable tier is fixed at
+// construction: opts.Checkpoint must be empty or equal to the
+// batcher's own checkpoint directory — naming a different store here
+// is an error, not a silent no-op.
+func (b *Batcher) OptimizeBatch(points []BatchPoint, opts BatchOptions) ([]*Result, error) {
+	if opts.Checkpoint != "" {
+		open := ""
+		if b.st != nil {
+			open = b.st.Dir()
+		}
+		if !sameDir(opts.Checkpoint, open) {
+			return nil, fmt.Errorf("magicstate: batcher checkpoint is %q, set at construction; cannot switch to %q per batch", open, opts.Checkpoint)
+		}
+	}
+	eng := b.eng.Derive(sweep.Options{Workers: opts.Parallelism, Progress: opts.Progress})
+	return sweep.Map(opts.Context, eng, points, func(_ int, pt BatchPoint) (*Result, error) {
+		return optimizeOn(eng, pt.Spec, pt.Opts)
+	})
+}
+
+// CacheStats reports how a Batcher's cache tier has performed.
+type CacheStats struct {
+	// MemoryHits and MemoryMisses count lookups in the in-process memo.
+	MemoryHits, MemoryMisses int64
+	// DiskHits counts points served from the checkpoint store instead
+	// of recomputed (always zero without a checkpoint).
+	DiskHits int64
+	// StoredRecords is the checkpoint store's live record count.
+	StoredRecords int
+	// StoredBytes is the checkpoint store's record log size.
+	StoredBytes int64
+	// CheckpointDir is the store directory ("" when memory-only).
+	CheckpointDir string
+}
+
+// Stats snapshots the batcher's cache counters.
+func (b *Batcher) Stats() CacheStats {
+	hits, misses := b.eng.CacheStats()
+	cs := CacheStats{
+		MemoryHits:   hits,
+		MemoryMisses: misses,
+		DiskHits:     b.eng.DiskHits(),
+	}
+	if b.st != nil {
+		st := b.st.Stats()
+		cs.StoredRecords = st.Records
+		cs.StoredBytes = st.LogBytes
+		cs.CheckpointDir = b.st.Dir()
+	}
+	return cs
+}
+
+// sameDir reports whether two directory spellings name the same
+// location ("ck", "./ck" and the absolute form are all one directory,
+// matching how the store's own open-directory guard normalizes paths).
+func sameDir(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if a == "" || b == "" {
+		return false
+	}
+	absA, errA := filepath.Abs(a)
+	absB, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && absA == absB
+}
+
+// Close flushes and closes the checkpoint store. It is safe to call on
+// a memory-only Batcher and safe to call twice.
+func (b *Batcher) Close() error {
+	if b.st == nil {
+		return nil
+	}
+	return b.st.Close()
+}

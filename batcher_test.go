@@ -1,0 +1,122 @@
+package magicstate
+
+import (
+	"testing"
+)
+
+// TestBatcherCheckpointAcrossProcesses simulates two process lifetimes
+// sharing one checkpoint directory: the second Batcher must answer the
+// whole grid from disk and compute nothing new.
+func TestBatcherCheckpointAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	points := []BatchPoint{
+		{Spec: FactorySpec{Capacity: 2, Levels: 1}},
+		{Spec: FactorySpec{Capacity: 4, Levels: 1}},
+		{Spec: FactorySpec{Capacity: 2, Levels: 1}}, // duplicate of [0]
+	}
+
+	b1, err := NewBatcher(BatcherOptions{Parallelism: 2, Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b1.OptimizeBatch(points, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := b1.Stats()
+	if st1.StoredRecords != 2 {
+		t.Fatalf("first batcher stored %d records, want 2 unique points", st1.StoredRecords)
+	}
+	if st1.DiskHits != 0 {
+		t.Fatalf("first batcher DiskHits = %d, want 0", st1.DiskHits)
+	}
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewBatcher(BatcherOptions{Parallelism: 2, Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	second, err := b2.OptimizeBatch(points, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := b2.Stats()
+	if st2.DiskHits != 2 {
+		t.Fatalf("second batcher DiskHits = %d, want 2", st2.DiskHits)
+	}
+	if st2.StoredRecords != 2 {
+		t.Fatalf("second batcher stored %d records, want the same 2", st2.StoredRecords)
+	}
+	if st2.CheckpointDir != dir {
+		t.Fatalf("CheckpointDir = %q, want %q", st2.CheckpointDir, dir)
+	}
+	for i := range first {
+		if *first[i] != *second[i] {
+			t.Fatalf("point %d: disk-served result %+v differs from computed %+v", i, *second[i], *first[i])
+		}
+	}
+
+	// Single points share the same tier.
+	res, err := b2.Optimize(FactorySpec{Capacity: 4, Levels: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *first[1] {
+		t.Fatalf("Optimize through batcher = %+v, want %+v", *res, *first[1])
+	}
+
+	// The durable tier is fixed at construction: asking a batch to use a
+	// different checkpoint directory is an error, not a silent no-op.
+	if _, err := b2.OptimizeBatch(points, BatchOptions{Checkpoint: t.TempDir()}); err == nil {
+		t.Fatal("OptimizeBatch accepted a per-batch checkpoint different from the batcher's")
+	}
+	if _, err := b2.OptimizeBatch(points, BatchOptions{Checkpoint: dir}); err != nil {
+		t.Fatalf("OptimizeBatch rejected the batcher's own checkpoint dir: %v", err)
+	}
+}
+
+// TestBatcherTraceBypassesStore checks that trace-carrying runs still
+// return their rendered trace when routed through a store-backed
+// batcher (the durable tier must not swallow simulation artifacts).
+func TestBatcherTraceBypassesStore(t *testing.T) {
+	b, err := NewBatcher(BatcherOptions{Parallelism: 1, Checkpoint: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	spec := FactorySpec{Capacity: 2, Levels: 1}
+	if _, err := b.Optimize(spec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Optimize(spec, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == "" {
+		t.Fatal("trace run through a store-backed batcher lost its trace")
+	}
+}
+
+// TestOptimizeBatchCheckpointOption covers the one-shot entry point.
+func TestOptimizeBatchCheckpointOption(t *testing.T) {
+	dir := t.TempDir()
+	points := []BatchPoint{{Spec: FactorySpec{Capacity: 2, Levels: 1}}}
+	plain, err := OptimizeBatch(points, BatchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OptimizeBatch(points, BatchOptions{Parallelism: 1, Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := OptimizeBatch(points, BatchOptions{Parallelism: 1, Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *plain[0] != *ck[0] || *plain[0] != *again[0] {
+		t.Fatalf("checkpointed results diverge: %+v / %+v / %+v", *plain[0], *ck[0], *again[0])
+	}
+}

@@ -17,6 +17,10 @@
 // would). Reports always print in capacity-major, strategy-minor order
 // and are byte-identical at every -parallel setting, so the flag trades
 // wall-clock only.
+//
+// -checkpoint DIR persists every computed point to a durable result
+// store and serves repeated points from it across invocations — the
+// same store directory paperbench -checkpoint and msfud -store use.
 package main
 
 import (
@@ -42,15 +46,12 @@ func main() {
 	style := flag.String("style", "braiding", "interaction style: braiding|surgery|teleport (§IX)")
 	distance := flag.Int("distance", 0, "code distance for distance-sensitive styles (default 7)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "batch workers for capacity/strategy sweeps (1 = serial)")
+	checkpoint := flag.String("checkpoint", "", "durable result store directory; repeated points are served from disk across runs")
 	flag.Parse()
 
-	st, ok := map[string]magicstate.InteractionStyle{
-		"braiding": magicstate.Braiding,
-		"surgery":  magicstate.LatticeSurgery,
-		"teleport": magicstate.Teleportation,
-	}[*style]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown style %q\n", *style)
+	st, err := magicstate.ParseStyle(*style)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -84,7 +85,7 @@ func main() {
 			})
 		}
 	}
-	results, err := magicstate.OptimizeBatch(points, magicstate.BatchOptions{Parallelism: *parallel})
+	results, err := magicstate.OptimizeBatch(points, magicstate.BatchOptions{Parallelism: *parallel, Checkpoint: *checkpoint})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -144,18 +145,11 @@ func parseStrategies(s string) ([]*magicstate.Strategy, error) {
 	if s == "" {
 		return []*magicstate.Strategy{nil}, nil
 	}
-	names := map[string]magicstate.Strategy{
-		"random": magicstate.RandomMapping,
-		"line":   magicstate.LinearMapping,
-		"fd":     magicstate.ForceDirected,
-		"gp":     magicstate.GraphPartitioning,
-		"hs":     magicstate.HierarchicalStitching,
-	}
 	var out []*magicstate.Strategy
 	for _, part := range strings.Split(s, ",") {
-		st, ok := names[strings.TrimSpace(part)]
-		if !ok {
-			return nil, fmt.Errorf("unknown strategy %q", part)
+		st, err := magicstate.ParseStrategy(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, &st)
 	}

@@ -1,0 +1,115 @@
+// Command msfud (magic-state functional unit daemon) serves factory
+// optimization over HTTP: the same pipeline the msfu and paperbench
+// CLIs run, behind a long-running process with a two-tier result cache
+// (in-memory memo + optional durable store), so any given (capacity,
+// level, strategy, style, seed) point is computed once — ever, when a
+// -store directory is given — no matter how many requests ask for it.
+//
+// Usage:
+//
+//	msfud [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-points N] [-addr-file FILE]
+//
+// Endpoints (see API.md for request/response bodies and curl examples):
+//
+//	POST   /v1/optimize   one point, synchronous
+//	POST   /v1/batch      a grid; 202 + job id, or SSE progress with ?stream=1
+//	GET    /v1/jobs/{id}  poll a batch job
+//	DELETE /v1/jobs/{id}  cancel a batch job
+//	GET    /v1/stats      cache hit rates, job counters, uptime
+//
+// -parallel caps the worker pool any single request may use (default:
+// one per CPU); requests may ask for less, never more. -max-points
+// bounds a single batch request's grid expansion. -store enables the
+// durable tier: results are persisted to DIR (created on first use,
+// crash-recovered on open) and served from disk across restarts.
+//
+// -addr supports port 0 for an OS-assigned port; the resolved address
+// is printed on stdout and, with -addr-file, written to FILE — which is
+// how the CI smoke test boots the service on a random free port.
+//
+// SIGINT/SIGTERM shut the service down gracefully: in-flight requests
+// and jobs are cancelled, and the store is flushed and closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"magicstate"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8350", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the resolved listen address to this file once serving")
+	storeDir := flag.String("store", "", "durable result store directory (empty = in-memory cache only)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max sweep workers any single request may use")
+	maxPoints := flag.Int("max-points", 4096, "max grid points one batch request may expand to")
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, *storeDir, *parallel, *maxPoints); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run wires the batcher, listener and signal handling; split from main
+// so every exit path returns through the deferred cleanup.
+func run(addr, addrFile, storeDir string, parallel, maxPoints int) error {
+	b, err := magicstate.NewBatcher(magicstate.BatcherOptions{
+		Parallelism: parallel,
+		Checkpoint:  storeDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	srv := newServer(b, parallel, maxPoints)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	fmt.Printf("msfud listening on http://%s\n", resolved)
+	if storeDir != "" {
+		fmt.Printf("msfud durable store: %s (%d records)\n", storeDir, b.Stats().StoredRecords)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(resolved), 0o644); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("msfud: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := hs.Shutdown(ctx)
+		// Async jobs outlive their HTTP requests: cancel them and wait
+		// for their goroutines before the deferred store close, so
+		// nothing races a PutReport against the closing store.
+		srv.drainJobs(10 * time.Second)
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,518 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magicstate"
+)
+
+// server is the msfud HTTP service: request parsing, job tracking and
+// SSE streaming around one shared magicstate.Batcher, so every request
+// — single point, streamed grid, polled job — draws from the same
+// memory + disk cache tier.
+type server struct {
+	batcher     *magicstate.Batcher
+	maxParallel int // per-request parallelism cap (the batcher's width)
+	maxPoints   int // per-request grid size cap
+	started     time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	nextJob   int64
+	pruneFrom int64 // lowest job number that might still be evictable
+
+	jobWG      sync.WaitGroup
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+}
+
+// job is one asynchronous /v1/batch evaluation.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+	total  int
+	done   atomic.Int64
+
+	finished chan struct{} // closed when results/err are set
+	results  []resultJSON
+	err      error
+}
+
+// newServer wires a server around a batcher. maxParallel caps what any
+// single request may ask for; maxPoints bounds grid expansion so one
+// request cannot queue unbounded work.
+func newServer(b *magicstate.Batcher, maxParallel, maxPoints int) *server {
+	return &server{
+		batcher:     b,
+		maxParallel: maxParallel,
+		maxPoints:   maxPoints,
+		started:     time.Now(),
+		jobs:        make(map[string]*job),
+		pruneFrom:   1,
+	}
+}
+
+// drainJobs cancels every running job and waits (up to the deadline)
+// for their goroutines to finish, so the store can be closed without
+// racing in-flight PutReport calls. Called once during shutdown, after
+// the HTTP listener stops accepting work.
+func (s *server) drainJobs(timeout time.Duration) {
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+}
+
+// handler builds the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// optimizeRequest is the JSON body of /v1/optimize and one point of a
+// /v1/batch points list. Strategy and style names match the msfu CLI
+// flags; empty strings pick the same defaults.
+type optimizeRequest struct {
+	Capacity        int    `json:"capacity"`
+	Levels          int    `json:"levels"`
+	Reuse           bool   `json:"reuse,omitempty"`
+	Strategy        string `json:"strategy,omitempty"`
+	Seed            int64  `json:"seed,omitempty"`
+	Style           string `json:"style,omitempty"`
+	Distance        int    `json:"distance,omitempty"`
+	DisableBarriers bool   `json:"disable_barriers,omitempty"`
+}
+
+// resultJSON is the wire form of magicstate.Result.
+type resultJSON struct {
+	Strategy           string  `json:"strategy"`
+	Latency            int     `json:"latency"`
+	Area               int     `json:"area"`
+	Volume             float64 `json:"volume"`
+	CriticalLatency    int     `json:"critical_latency"`
+	CriticalVolume     float64 `json:"critical_volume"`
+	PermutationLatency int     `json:"permutation_latency,omitempty"`
+}
+
+func resultToJSON(r *magicstate.Result) resultJSON {
+	return resultJSON{
+		Strategy:           r.Strategy,
+		Latency:            r.Latency,
+		Area:               r.Area,
+		Volume:             r.Volume,
+		CriticalLatency:    r.CriticalLatency,
+		CriticalVolume:     r.CriticalVolume,
+		PermutationLatency: r.PermutationLatency,
+	}
+}
+
+// point lowers a request to the public API's batch point, rejecting
+// unknown names and invalid factory shapes up front so bad requests
+// answer 400, not 500.
+func (r optimizeRequest) point() (magicstate.BatchPoint, error) {
+	var pt magicstate.BatchPoint
+	pt.Spec = magicstate.FactorySpec{Capacity: r.Capacity, Levels: r.Levels, Reuse: r.Reuse}
+	if r.Levels == 0 {
+		pt.Spec.Levels = 1
+	}
+	if err := pt.Spec.Validate(); err != nil {
+		return pt, err
+	}
+	pt.Opts = magicstate.Options{
+		Seed:            r.Seed,
+		DisableBarriers: r.DisableBarriers,
+		Distance:        r.Distance,
+	}
+	if r.Style != "" {
+		style, err := magicstate.ParseStyle(r.Style)
+		if err != nil {
+			return pt, err
+		}
+		pt.Opts.Style = style
+	}
+	if r.Strategy != "" {
+		st, err := magicstate.ParseStrategy(r.Strategy)
+		if err != nil {
+			return pt, err
+		}
+		pt.Opts = pt.Opts.WithStrategy(st)
+	}
+	return pt, nil
+}
+
+// batchRequest is the JSON body of /v1/batch: either an explicit points
+// list or a grid to expand (capacity-major, then strategy, then seed —
+// the order the CLIs print). Parallelism narrows the worker pool for
+// this request; it is clamped to the server's -parallel cap.
+type batchRequest struct {
+	Points      []optimizeRequest `json:"points,omitempty"`
+	Grid        *gridSpec         `json:"grid,omitempty"`
+	Parallelism int               `json:"parallelism,omitempty"`
+}
+
+// gridSpec is the cross-product form of a batch: capacities x
+// strategies x seeds at one level/reuse/style setting.
+type gridSpec struct {
+	Capacities      []int    `json:"capacities"`
+	Levels          int      `json:"levels"`
+	Strategies      []string `json:"strategies,omitempty"`
+	Seeds           []int64  `json:"seeds,omitempty"`
+	Reuse           bool     `json:"reuse,omitempty"`
+	Style           string   `json:"style,omitempty"`
+	Distance        int      `json:"distance,omitempty"`
+	DisableBarriers bool     `json:"disable_barriers,omitempty"`
+}
+
+// expand flattens a batch request to points.
+func (b batchRequest) expand() ([]magicstate.BatchPoint, error) {
+	reqs := b.Points
+	if b.Grid != nil {
+		if len(b.Points) > 0 {
+			return nil, fmt.Errorf("give either points or grid, not both")
+		}
+		strategies := b.Grid.Strategies
+		if len(strategies) == 0 {
+			strategies = []string{""}
+		}
+		seeds := b.Grid.Seeds
+		if len(seeds) == 0 {
+			seeds = []int64{0}
+		}
+		for _, c := range b.Grid.Capacities {
+			for _, st := range strategies {
+				for _, seed := range seeds {
+					reqs = append(reqs, optimizeRequest{
+						Capacity: c, Levels: b.Grid.Levels, Reuse: b.Grid.Reuse,
+						Strategy: st, Seed: seed, Style: b.Grid.Style,
+						Distance: b.Grid.Distance, DisableBarriers: b.Grid.DisableBarriers,
+					})
+				}
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	points := make([]magicstate.BatchPoint, len(reqs))
+	for i, r := range reqs {
+		pt, err := r.point()
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		points[i] = pt
+	}
+	return points, nil
+}
+
+// httpError answers with a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON answers 200 with v as JSON.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleOptimize evaluates one point synchronously. Request timeouts
+// and disconnects cancel nothing mid-pipeline (a single point is the
+// smallest unit of work), but the result of every computed point lands
+// in the cache tier either way.
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	pt, err := req.point()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.batcher.Optimize(pt.Spec, pt.Opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "optimize: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultToJSON(res))
+}
+
+// handleBatch evaluates a grid. With ?stream=1 (or an Accept header
+// asking for text/event-stream) the evaluation runs inside the request
+// and progress is streamed as server-sent events; closing the
+// connection cancels the remaining points. Otherwise the batch becomes
+// a job: the response is 202 with a job id to poll at /v1/jobs/{id}.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	points, err := req.expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(points) > s.maxPoints {
+		httpError(w, http.StatusBadRequest, "batch of %d points exceeds the server cap of %d", len(points), s.maxPoints)
+		return
+	}
+	parallel := req.Parallelism
+	if parallel <= 0 || parallel > s.maxParallel {
+		parallel = s.maxParallel
+	}
+
+	if r.URL.Query().Get("stream") == "1" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamBatch(w, r, points, parallel)
+		return
+	}
+
+	// Asynchronous job path.
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{cancel: cancel, total: len(points), finished: make(chan struct{})}
+	s.mu.Lock()
+	s.nextJob++
+	j.id = fmt.Sprintf("job-%d", s.nextJob)
+	s.jobs[j.id] = j
+	s.pruneJobsLocked()
+	s.mu.Unlock()
+
+	s.jobWG.Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		defer cancel()
+		results, err := s.batcher.OptimizeBatch(points, magicstate.BatchOptions{
+			Parallelism: parallel,
+			Context:     ctx,
+			Progress:    func(done, total int) { j.done.Store(int64(done)) },
+		})
+		if err != nil {
+			j.err = err
+			s.jobsFailed.Add(1)
+		} else {
+			j.results = make([]resultJSON, len(results))
+			for i, res := range results {
+				j.results[i] = resultToJSON(res)
+			}
+			s.jobsDone.Add(1)
+		}
+		close(j.finished)
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job_id": j.id,
+		"total":  j.total,
+		"poll":   "/v1/jobs/" + j.id,
+	})
+}
+
+// streamBatch runs points inside the request and reports progress as
+// SSE frames: "progress" events with done/total counts, then one
+// "done" event carrying the full result array (or "error" with the
+// failure). The request context cancels evaluation between points when
+// the client goes away.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, points []magicstate.BatchPoint, parallel int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Progress callbacks arrive from worker goroutines (serialized by
+	// the engine) while this goroutine owns the ResponseWriter, so
+	// frames are written here and handed over via a channel.
+	type frame struct {
+		event string
+		data  any
+	}
+	frames := make(chan frame, 16)
+	go func() {
+		defer close(frames)
+		results, err := s.batcher.OptimizeBatch(points, magicstate.BatchOptions{
+			Parallelism: parallel,
+			Context:     r.Context(),
+			Progress: func(done, total int) {
+				// Never block the worker pool on the client: progress
+				// frames are advisory, so when the client reads slower
+				// than points complete the backlog is dropped (the next
+				// progress frame carries the up-to-date count anyway).
+				select {
+				case frames <- frame{"progress", map[string]int{"done": done, "total": total}}:
+				default:
+				}
+			},
+		})
+		// The terminal frame is never dropped — but a client that went
+		// away must not pin this goroutine either.
+		var final frame
+		if err != nil {
+			final = frame{"error", map[string]string{"error": err.Error()}}
+		} else {
+			out := make([]resultJSON, len(results))
+			for i, res := range results {
+				out[i] = resultToJSON(res)
+			}
+			final = frame{"done", map[string]any{"results": out}}
+		}
+		select {
+		case frames <- final:
+		case <-r.Context().Done():
+		}
+	}()
+	for f := range frames {
+		data, err := json.Marshal(f.data)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, data)
+		fl.Flush()
+	}
+}
+
+// maxFinishedJobs bounds how many completed jobs stay queryable; the
+// oldest finished jobs are dropped first. Running jobs are never
+// evicted.
+const maxFinishedJobs = 256
+
+// pruneJobsLocked evicts the lowest-numbered finished jobs beyond the
+// retention cap. Callers hold s.mu. Job ids are dense ("job-N") and
+// eviction is oldest-first, so the scan starts at pruneFrom — the
+// lowest number that might still be live — and advances the cursor
+// past ids that are gone, keeping each prune proportional to the live
+// job count rather than to every job the server has ever issued.
+func (s *server) pruneJobsLocked() {
+	finished := 0
+	for _, j := range s.jobs {
+		select {
+		case <-j.finished:
+			finished++
+		default:
+		}
+	}
+	for n := s.pruneFrom; finished > maxFinishedJobs && n <= s.nextJob; n++ {
+		id := fmt.Sprintf("job-%d", n)
+		j, ok := s.jobs[id]
+		if !ok {
+			if n == s.pruneFrom {
+				s.pruneFrom++
+			}
+			continue
+		}
+		select {
+		case <-j.finished:
+			delete(s.jobs, id)
+			finished--
+			if n == s.pruneFrom {
+				s.pruneFrom++
+			}
+		default:
+			// Still running: it may finish and become evictable later,
+			// so the cursor cannot move past it.
+		}
+	}
+}
+
+// handleJobGet reports a job's progress, and its results once finished.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	resp := map[string]any{
+		"job_id": j.id,
+		"total":  j.total,
+		"done":   j.done.Load(),
+	}
+	select {
+	case <-j.finished:
+		if j.err != nil {
+			resp["status"] = "failed"
+			resp["error"] = j.err.Error()
+		} else {
+			resp["status"] = "done"
+			resp["results"] = j.results
+		}
+	default:
+		resp["status"] = "running"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobCancel cancels a running job. The job stays queryable; its
+// status resolves to failed with a cancellation error.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"job_id": j.id, "status": "cancelling"})
+}
+
+// handleStats reports cache-tier and job counters: the operational view
+// of "compute each point once, ever".
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.batcher.Stats()
+	s.mu.Lock()
+	inFlight := 0
+	for _, j := range s.jobs {
+		select {
+		case <-j.finished:
+		default:
+			inFlight++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"max_parallel":   s.maxParallel,
+		"cache": map[string]any{
+			"memory_hits":    cs.MemoryHits,
+			"memory_misses":  cs.MemoryMisses,
+			"disk_hits":      cs.DiskHits,
+			"stored_records": cs.StoredRecords,
+			"stored_bytes":   cs.StoredBytes,
+			"checkpoint_dir": cs.CheckpointDir,
+		},
+		"jobs": map[string]any{
+			"in_flight": inFlight,
+			"completed": s.jobsDone.Load(),
+			"failed":    s.jobsFailed.Load(),
+		},
+	})
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-seed N] [-quick] [-parallel N] [-progress] [artifact ...]
+//	paperbench [-seed N] [-quick] [-parallel N] [-progress] [-checkpoint DIR] [artifact ...]
 //	paperbench -bench FILE        # machine-readable perf snapshot, then exit
 //	paperbench -cpuprofile FILE [-memprofile FILE] [artifact ...]
 //
@@ -28,6 +28,18 @@
 // on stderr as long sweeps run; stdout stays clean for the artifacts
 // themselves.
 //
+// -checkpoint DIR backs the run with a durable result store (created on
+// first use, crash-recovered on open): every pipeline grid point is
+// persisted to DIR as it completes, and a later run with the same
+// -checkpoint — the same invocation restarted after a kill, or an
+// entirely different artifact sharing grid cells — serves stored points
+// from disk instead of recomputing them. Artifacts stay byte-identical
+// with or without a checkpoint (the store keeps exactly the scalar
+// fields the artifact writers read; internal/experiments'
+// TestResumeByteIdentical holds the repo to this). A cache summary
+// ("checkpoint: N from store, M computed, K records") prints on stderr
+// at exit so resumed runs can verify they recomputed nothing.
+//
 // -bench FILE runs the repo's simulator/stitcher perf workloads in
 // process and writes a machine-readable JSON snapshot (see bench.go) to
 // FILE ("-" for stdout), then exits; CI archives these and
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	"magicstate/internal/experiments"
+	"magicstate/internal/store"
 	"magicstate/internal/sweep"
 )
 
@@ -59,6 +72,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep-engine workers per experiment grid (1 = serial)")
 	progress := flag.Bool("progress", false, "report per-artifact grid progress on stderr")
 	benchOut := flag.String("bench", "", "run the perf workloads and write a JSON snapshot to this file (- for stdout), then exit")
+	checkpoint := flag.String("checkpoint", "", "durable result store directory; resumed runs skip already-stored points")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	// Parse flags interleaved with artifact names, so
@@ -98,7 +112,13 @@ func main() {
 			}
 		}
 	}
+	// closeCheckpoint flushes the -checkpoint store and prints the cache
+	// summary; reassigned once the store is open, and called on every
+	// exit path (a crash-killed run skips it by design — recovery at the
+	// next open picks up whatever reached the log).
+	closeCheckpoint := func() {}
 	exitWith := func(code int) {
+		closeCheckpoint()
 		stopProfiles()
 		os.Exit(code)
 	}
@@ -134,7 +154,29 @@ func main() {
 			}
 		}
 	}
-	experiments.SetEngine(sweep.New(sweep.Options{Workers: *parallel, Progress: progressFn}))
+	engOpts := sweep.Options{Workers: *parallel, Progress: progressFn}
+	if *checkpoint != "" {
+		st, err := store.Open(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitWith(1)
+		}
+		engOpts.Store = st
+	}
+	eng := sweep.New(engOpts)
+	experiments.SetEngine(eng)
+	if st := engOpts.Store; st != nil {
+		closeCheckpoint = func() {
+			closeCheckpoint = func() {} // once
+			stats := st.Stats()
+			fmt.Fprintf(os.Stderr, "checkpoint: %d from store, %d computed, %d records in %s\n",
+				eng.DiskHits(), stats.Puts, stats.Records, *checkpoint)
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		defer func() { closeCheckpoint() }()
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

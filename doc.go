@@ -44,6 +44,14 @@
 // per point, parallelism never changes the numbers, only the wall
 // clock.
 //
+// Results can outlive the process: a Batcher (or a one-shot
+// OptimizeBatch with BatchOptions.Checkpoint) backs the in-memory
+// result cache with a durable, crash-safe on-disk store, so a point
+// computed by any earlier run against the same directory — including a
+// run that was killed partway — is served from disk instead of
+// recomputed. The cmd/msfud HTTP service wraps exactly this: one
+// long-running Batcher behind POST /v1/optimize and /v1/batch.
+//
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation plus
 // the extension studies.

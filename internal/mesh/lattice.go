@@ -1,13 +1,3 @@
-// Package mesh is the cycle-accurate surface-code braid network simulator
-// (the substrate of §VIII.A, reimplementing the role of the MICRO'17 tool
-// [1]). Logical qubit tiles sit on a W x H grid; between and around tiles
-// runs a lattice of routing channel cells. A two-qubit gate claims a
-// connected path of free channel cells between its endpoint tiles for the
-// gate's whole duration; a multi-target CXX claims a connected tree
-// touching the control and every target. Braids may not overlap in space
-// and time: a gate that cannot claim a conflict-free path stalls until a
-// running braid releases its cells (oldest-first arbitration), exactly the
-// behaviour the paper's congestion results rest on.
 package mesh
 
 import "magicstate/internal/layout"
@@ -15,7 +5,7 @@ import "magicstate/internal/layout"
 // Lattice is the routing-cell grid derived from a tile grid: tile (x, y)
 // occupies cell (2x+1, 2y+1); every other cell is a routing channel.
 type Lattice struct {
-	TileW, TileH int
+	TileW, TileH int // tile grid dimensions
 	CW, CH       int // cell grid dimensions: 2W+1 x 2H+1
 	isTile       []bool
 	// ports[y*TileW+x] lists the channel cells adjacent to tile (x, y),

@@ -1,0 +1,47 @@
+// Package store is the durable tier of the repository's result cache: a
+// content-addressed, append-only on-disk store of pipeline results keyed
+// by a canonical hash of core.Config. It is what lets a result outlive
+// the process that computed it — the in-memory memo cache of
+// internal/sweep/memo answers repeats within a process, and this package
+// answers repeats across processes, so any given (capacity, level,
+// strategy, style, seed) grid point — the unit of the paper's entire
+// §VIII evaluation — is computed once, ever, per store directory.
+//
+// # Layout
+//
+// A store directory holds two files:
+//
+//   - store.log — record payloads (JSON, one per result), written
+//     back-to-back in append order;
+//   - store.idx — fixed-width index entries, one per record, each
+//     holding the record's key, its [offset, length) extent in the log,
+//     a CRC of the payload, and a CRC of the entry itself.
+//
+// Both files are append-only; nothing is ever rewritten in place.
+//
+// # Crash safety
+//
+// Open recovers the longest valid prefix of the two files: index
+// entries are replayed in order and validated (entry CRC, contiguous
+// extents, payload CRC), and the first invalid entry — a torn write
+// from a crash, a truncated log, flipped bits — ends the replay. Both
+// files are then truncated back to the validated prefix, so a store
+// that crashed mid-append reopens to exactly the records that were
+// fully written, and the next append continues from there. The
+// store_test.go property test drives this at every byte boundary.
+//
+// # What is stored
+//
+// Records hold the scalar outcome of a pipeline run (latency, area,
+// volume, bounds, stalls — see Record), not the simulation itself:
+// reports served from disk carry no Factory/Placement/Sim pointers.
+// Configurations whose callers need those pointers (RecordPaths, i.e.
+// trace rendering) are excluded by Cacheable and always recompute.
+//
+// Store is safe for concurrent use by multiple goroutines of one
+// process, and Open refuses a directory this process already has open —
+// two independently buffered writers would interleave appends and
+// corrupt both files. Across processes there is no file locking: keep
+// one writing process per directory at a time (readers that open after
+// the writer closed are always safe).
+package store

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"magicstate/internal/core"
+)
+
+// Key is the content address of a pipeline configuration: a SHA-256
+// digest of the canonical encoding KeyOf produces. Two core.Config
+// values collide on a Key exactly when they are equal, so a Key names a
+// result independent of which process (or machine) computed it.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex, the form used in logs and
+// the /v1/stats output.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyFormatVersion is bumped whenever the canonical encoding below
+// changes meaning (field added, renamed, or reinterpreted). Bumping it
+// changes every key, which safely orphans — never misreads — records
+// written by older encodings.
+const keyFormatVersion = 1
+
+// KeyOf returns the canonical content address of cfg. The encoding
+// writes every Config field (including the nested cost model and the
+// force-directed and stitching option blocks) by name in a fixed order,
+// so the digest is stable across processes, platforms and Go versions
+// for as long as keyFormatVersion stands. TestKeyGuardsConfigFields
+// pins the Config field set so a new field cannot silently be left out
+// of the encoding (which would serve stale results for configs that
+// differ only in that field).
+func KeyOf(cfg core.Config) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "magicstate/store v%d\n", keyFormatVersion)
+	fmt.Fprintf(h, "K=%d Levels=%d Reuse=%t NoBarriers=%t Strategy=%d Seed=%d\n",
+		cfg.K, cfg.Levels, cfg.Reuse, cfg.NoBarriers, int(cfg.Strategy), cfg.Seed)
+	fmt.Fprintf(h, "Cost={Prep=%d H=%d Meas=%d CNOT=%d CXX=%d Inject=%d Move=%d}\n",
+		cfg.Cost.Prep, cfg.Cost.H, cfg.Cost.Meas, cfg.Cost.CNOT, cfg.Cost.CXX,
+		cfg.Cost.Inject, cfg.Cost.Move)
+	fmt.Fprintf(h, "MeshMode=%d RouteMargin=%d Style=%d Distance=%d RecordPaths=%t\n",
+		int(cfg.MeshMode), cfg.RouteMargin, int(cfg.Style), cfg.Distance, cfg.RecordPaths)
+	fmt.Fprintf(h, "FD={Iterations=%d Seed=%d WAttract=%g WRepulse=%g WDipole=%g CostSample=%d MarginRows=%d DisableDipole=%t DisableCommunity=%t}\n",
+		cfg.FD.Iterations, cfg.FD.Seed, cfg.FD.WAttract, cfg.FD.WRepulse, cfg.FD.WDipole,
+		cfg.FD.CostSample, cfg.FD.MarginRows, cfg.FD.DisableDipole, cfg.FD.DisableCommunity)
+	fmt.Fprintf(h, "Stitch={Seed=%d Reuse=%t Hops=%d HopIters=%d DisablePortReassign=%t ExpandSpacing=%d NoBarriers=%t}\n",
+		cfg.Stitch.Seed, cfg.Stitch.Reuse, int(cfg.Stitch.Hops), cfg.Stitch.HopIters,
+		cfg.Stitch.DisablePortReassign, cfg.Stitch.ExpandSpacing, cfg.Stitch.NoBarriers)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Cacheable reports whether cfg's result can be served from disk. A
+// stored Record keeps only the scalar outcome of a run, so configs
+// whose callers need the in-memory simulation artifacts — RecordPaths
+// retains braid paths for trace rendering and congestion maps — must
+// always recompute and are excluded from the durable tier.
+func Cacheable(cfg core.Config) bool { return !cfg.RecordPaths }

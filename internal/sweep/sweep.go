@@ -1,28 +1,3 @@
-// Package sweep is the concurrent batch executor behind the repository's
-// evaluation pipeline. The paper's whole evaluation (§VIII) is a grid of
-// independent (capacity, level, strategy, style, seed) pipeline runs;
-// sweep accepts such a grid as a slice of core.Config points, executes it
-// on a bounded worker pool, and returns reports in the exact order the
-// points were submitted, so callers that used to write nested serial
-// loops get the same rows back regardless of worker count.
-//
-// The engine adds three things over a bare errgroup:
-//
-//   - memoization: identical Config points (several figures re-evaluate
-//     the same grid cells) are computed once per engine and shared, with
-//     singleflight semantics under concurrency;
-//   - deterministic ordering: results[i] always corresponds to
-//     cfgs[i]; on failure, the engine stops dispatching and reports
-//     the lowest-indexed point that ran and failed (a serial run
-//     reports exactly the first failure);
-//   - cancellation and progress: a context.Context stops the sweep
-//     between points, and an optional callback observes completion
-//     counts for long grids.
-//
-// Every pipeline stage the engine runs is deterministic per Config, so a
-// fixed-seed grid produces byte-identical results at any worker count —
-// the determinism regression test in internal/experiments holds the
-// repository to that.
 package sweep
 
 import (
@@ -33,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"magicstate/internal/core"
+	"magicstate/internal/store"
 	"magicstate/internal/sweep/memo"
 )
 
@@ -51,6 +27,11 @@ type Options struct {
 	Progress func(done, total int)
 	// CacheLimit bounds the memo cache entry count (0 = memo.DefaultLimit).
 	CacheLimit int
+	// Store, when set, adds a durable cache tier beneath the in-memory
+	// memo: RunOne consults memory first, then the store, and persists
+	// freshly computed cacheable results. The engine never closes the
+	// store — its owner does.
+	Store *store.Store
 }
 
 // Engine is a reusable batch executor. An Engine is safe for concurrent
@@ -61,6 +42,8 @@ type Engine struct {
 	progress func(done, total int)
 	progMu   sync.Mutex
 	cache    *memo.Cache
+	store    *store.Store
+	diskHits *atomic.Int64 // shared by every engine Derive produces
 }
 
 // New builds an engine.
@@ -73,14 +56,47 @@ func New(opts Options) *Engine {
 		workers:  w,
 		progress: opts.Progress,
 		cache:    memo.New(opts.CacheLimit),
+		store:    opts.Store,
+		diskHits: new(atomic.Int64),
+	}
+}
+
+// Derive returns an engine that shares e's memo cache, result store and
+// disk-hit counter but runs with its own worker width and progress
+// callback. It is how one process serves many differently-shaped
+// callers from a single cache tier: the msfud service derives a
+// width-capped engine per request (opts.Workers above e's width is
+// clamped down to it, so a request can narrow the shared pool but
+// never widen it).
+func (e *Engine) Derive(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 || w > e.workers {
+		w = e.workers
+	}
+	return &Engine{
+		workers:  w,
+		progress: opts.Progress,
+		cache:    e.cache,
+		store:    e.store,
+		diskHits: e.diskHits,
 	}
 }
 
 // Workers reports the pool width.
 func (e *Engine) Workers() int { return e.workers }
 
-// CacheStats reports memo cache hits and misses so far.
+// CacheStats reports memo cache hits and misses so far (shared across
+// derived engines).
 func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+
+// Store returns the engine's durable cache tier (nil when the engine is
+// memory-only).
+func (e *Engine) Store() *store.Store { return e.store }
+
+// DiskHits reports how many points were served from the durable tier
+// instead of being recomputed, across this engine and every engine
+// sharing its cache via Derive.
+func (e *Engine) DiskHits() int64 { return e.diskHits.Load() }
 
 // Run executes every Config point and returns the reports in input
 // order. Identical points are computed once (reports are shared — treat
@@ -92,12 +108,34 @@ func (e *Engine) Run(ctx context.Context, cfgs []core.Config) ([]*core.Report, e
 	})
 }
 
-// RunOne executes a single Config through the engine's memo cache. It
-// is how grid stages that need per-point error context (or mix pipeline
-// runs with other work) still share the cache: call RunOne from inside
-// a Map function instead of core.Run.
+// RunOne executes a single Config through the engine's cache tier:
+// the in-memory memo answers repeats within the process, the durable
+// store (when the engine has one) answers repeats across processes, and
+// only a miss on both computes — persisting the fresh result so no
+// process ever computes this point again. It is how grid stages that
+// need per-point error context (or mix pipeline runs with other work)
+// still share the cache: call RunOne from inside a Map function instead
+// of core.Run.
 func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
-	v, err := e.cache.Do(cfg, func() (any, error) { return core.Run(cfg) })
+	v, err := e.cache.Do(cfg, func() (any, error) {
+		if e.store != nil {
+			if rep, ok := e.store.LookupReport(cfg); ok {
+				e.diskHits.Add(1)
+				return rep, nil
+			}
+		}
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if e.store != nil {
+			// Persistence is an optimization, not a correctness step: a
+			// full disk fails the Put but the sweep still has its result,
+			// so the error is dropped rather than failing the point.
+			_ = e.store.PutReport(cfg, rep)
+		}
+		return rep, nil
+	})
 	if err != nil {
 		return nil, err
 	}

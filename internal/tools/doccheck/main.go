@@ -1,0 +1,186 @@
+// Command doccheck is the repository's doc-comment linter: it parses the
+// packages under the directories given on the command line and reports
+// every exported identifier — top-level function, type, method, const or
+// var group, and struct field of an exported type — that has no doc
+// comment, in the spirit of what pkg.go.dev renders blank. go vet checks
+// comment *form* (the // Name prefix convention is checked by its
+// stdmethods/directive analyzers only loosely); doccheck checks
+// *presence*, which vet does not, and CI runs it over the packages the
+// documentation pass guarantees.
+//
+// Usage:
+//
+//	doccheck [-fields=false] DIR [DIR ...]
+//
+// Exit status is 1 when any identifier is undocumented, so the CI step
+// fails loudly. Test files and *_test packages are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	fields := flag.Bool("fields", true, "also require doc comments on exported struct fields")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-fields=false] DIR [DIR ...]")
+		os.Exit(2)
+	}
+	var bad int
+	for _, dir := range flag.Args() {
+		n, err := checkDir(dir, *fields)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one directory (non-recursively, skipping _test.go
+// files) and reports undocumented exported identifiers.
+func checkDir(dir string, fields bool) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	var bad int
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range sortedFiles(pkg) {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc.Text() == "" {
+						report(d.Pos(), declKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report, fields)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// sortedFiles returns the package's files in name order so output is
+// deterministic (map iteration is not).
+func sortedFiles(pkg *ast.Package) []*ast.File {
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, len(names))
+	for i, name := range names {
+		files[i] = pkg.Files[name]
+	}
+	return files
+}
+
+// declKind names a FuncDecl for the report line.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types never reach pkg.go.dev).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl handles const/var/type declarations. A doc comment on
+// the grouped declaration covers every name in the group — the
+// idiomatic form for enum-style const blocks — and a doc or trailing
+// line comment covers an individual spec.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string), fields bool) {
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if !sp.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && sp.Doc.Text() == "" && sp.Comment.Text() == "" {
+				report(sp.Pos(), "type", sp.Name.Name)
+			}
+			if st, ok := sp.Type.(*ast.StructType); ok && fields && sp.Name.IsExported() {
+				checkFields(sp.Name.Name, st, report)
+			}
+		case *ast.ValueSpec:
+			if sp.Doc.Text() != "" || sp.Comment.Text() != "" || groupDoc {
+				continue
+			}
+			for _, name := range sp.Names {
+				if name.IsExported() {
+					report(name.Pos(), kindWord(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// kindWord names a const/var token for the report line.
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkFields requires a doc or line comment on each exported field of
+// an exported struct type. A comment above a run of fields documents
+// only the first field it precedes — matching how godoc renders it.
+func checkFields(typeName string, st *ast.StructType, report func(token.Pos, string, string)) {
+	for _, field := range st.Fields.List {
+		if field.Doc.Text() != "" || field.Comment.Text() != "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field", typeName+"."+name.Name)
+			}
+		}
+	}
+}

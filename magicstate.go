@@ -42,6 +42,39 @@ const (
 // String returns the strategy's Table I label.
 func (s Strategy) String() string { return core.Strategy(s).String() }
 
+// ParseStrategy maps a strategy name — "random", "line", "fd", "gp" or
+// "hs" — to its Strategy. It is the one name table shared by every
+// entry point that accepts strategy names (the msfu CLI flags, the
+// msfud HTTP API), so the surfaces cannot drift apart.
+func ParseStrategy(name string) (Strategy, error) {
+	st, ok := map[string]Strategy{
+		"random": RandomMapping,
+		"line":   LinearMapping,
+		"fd":     ForceDirected,
+		"gp":     GraphPartitioning,
+		"hs":     HierarchicalStitching,
+	}[name]
+	if !ok {
+		return 0, fmt.Errorf("magicstate: unknown strategy %q (want random|line|fd|gp|hs)", name)
+	}
+	return st, nil
+}
+
+// ParseStyle maps an interaction style name — "braiding", "surgery" or
+// "teleport" — to its InteractionStyle, sharing one name table across
+// the CLI and HTTP surfaces like ParseStrategy.
+func ParseStyle(name string) (InteractionStyle, error) {
+	st, ok := map[string]InteractionStyle{
+		"braiding": Braiding,
+		"surgery":  LatticeSurgery,
+		"teleport": Teleportation,
+	}[name]
+	if !ok {
+		return 0, fmt.Errorf("magicstate: unknown style %q (want braiding|surgery|teleport)", name)
+	}
+	return st, nil
+}
+
 // FactorySpec describes the magic-state factory to build.
 type FactorySpec struct {
 	// Capacity is the number of distilled states produced per run; it
@@ -78,9 +111,9 @@ type Options struct {
 	// per-kind cycle breakdown).
 	Trace bool
 	// Style selects the surface-code interaction discipline (§IX);
-	// Braiding (the zero value) reproduces the paper. Distance feeds the
-	// distance-sensitive styles (zero means 7).
-	Style       InteractionStyle
+	// Braiding (the zero value) reproduces the paper.
+	Style InteractionStyle
+	// Distance feeds the distance-sensitive styles (zero means 7).
 	Distance    int
 	strategySet bool
 }
@@ -101,10 +134,11 @@ type Result struct {
 	Area int
 	// Volume is Latency x Area, the paper's quantum volume metric.
 	Volume float64
-	// CriticalLatency and CriticalVolume are dependency-limited lower
-	// bounds ("theoretical lower bound" in Fig. 7).
+	// CriticalLatency is the dependency-limited latency lower bound
+	// ("theoretical lower bound" in Fig. 7).
 	CriticalLatency int
-	CriticalVolume  float64
+	// CriticalVolume is the volume at the dependency-limited bound.
+	CriticalVolume float64
 	// PermutationLatency is the inter-round permutation window for
 	// multi-level factories (Fig. 9d's metric).
 	PermutationLatency int
@@ -218,9 +252,9 @@ type Provision struct {
 	BatchLatency int
 	// BatchSuccessProbability derates throughput for failed batches.
 	BatchSuccessProbability float64
-	// Factories is the farm size; BufferSize the prepared-state buffer
-	// keeping stalls under 1%.
-	Factories  int
+	// Factories is the farm size.
+	Factories int
+	// BufferSize is the prepared-state buffer keeping stalls under 1%.
 	BufferSize int
 	// PhysicalQubits totals the farm under balanced-investment distances.
 	PhysicalQubits int
