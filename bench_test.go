@@ -280,6 +280,40 @@ func BenchmarkGraphPartitionEmbed(b *testing.B) {
 	}
 }
 
+// BenchmarkForceAnneal measures the arena-backed annealing engine on a
+// single-level factory's interaction graph: the engine variant is the FD
+// mapper's steady state (one process-wide Annealer whose scratch carries
+// across sweep points), and the restart variants exercise the parallel
+// independent-restart path.
+func BenchmarkForceAnneal(b *testing.B) {
+	f, err := bravyi.Build(bravyi.Params{K: 8, Levels: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.FromCircuit(f.Circuit)
+	init := layout.Linear(f)
+	an := force.NewAnnealer()
+	for _, v := range []struct {
+		name string
+		opt  force.Options
+	}{
+		{"single", force.Options{Seed: 1}},
+		{"restarts4", force.Options{Seed: 1, Restarts: 4}},
+		{"restarts4_serial", force.Options{Seed: 1, Restarts: 4, RestartWorkers: 1}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := an.Anneal(g, f.Circuit, init, v.opt)
+				if i == b.N-1 {
+					m := layout.Measure(g, p)
+					b.ReportMetric(float64(m.Crossings), "crossings")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkStitchBuildK36(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -10,6 +10,8 @@ import (
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/experiments"
+	"magicstate/internal/force"
+	"magicstate/internal/graph"
 	"magicstate/internal/layout"
 	"magicstate/internal/mesh"
 	"magicstate/internal/stitch"
@@ -96,6 +98,15 @@ func runBenchSuite(path string) error {
 				if _, err := sim.Simulate(k64.Circuit, k64pl, mesh.Config{}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})))
+	fg := graph.FromCircuit(k8.Circuit)
+	fan := force.NewAnnealer()
+	snap.Benchmarks = append(snap.Benchmarks, toResult("force_anneal_k8",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fan.Anneal(fg, k8.Circuit, k8pl, force.Options{Seed: 1})
 			}
 		})))
 	snap.Benchmarks = append(snap.Benchmarks, toResult("stitch_build_k36",

@@ -77,7 +77,11 @@ func Build(p Params) (*Factory, error) {
 		assigner = contiguousAssigner
 	}
 
-	alloc := func(round, inRound, n int, fresh *[]circuit.Qubit, prefix string) []circuit.Qubit {
+	// Qubits are left unnamed: a factory allocates thousands of them, ids
+	// are self-describing under the documented allocation order
+	// (module-major, raw/anc/out register-minor), and naming each one cost
+	// a fmt.Sprintf allocation that dominated generation profiles.
+	alloc := func(round, inRound, n int, fresh *[]circuit.Qubit) []circuit.Qubit {
 		qs := make([]circuit.Qubit, 0, n)
 		if p.Reuse && round > 1 {
 			sort.Slice(freed, func(i, j int) bool { return freed[i] < freed[j] })
@@ -102,7 +106,7 @@ func Build(p Params) (*Factory, error) {
 			}
 		}
 		for len(qs) < n {
-			q := c.AddQubit(fmt.Sprintf("%s%d_%d_%d", prefix, round, inRound, len(qs)))
+			q := c.AddQubit("")
 			qs = append(qs, q)
 			*fresh = append(*fresh, q)
 		}
@@ -128,9 +132,9 @@ func Build(p Params) (*Factory, error) {
 			}
 			// Slots reuse first (they free earliest next round), then
 			// ancillas, then outputs.
-			m.Raw = alloc(r, im, 3*k+8, &round.Fresh, "s")
-			m.Anc = alloc(r, im, k+5, &round.Fresh, "a")
-			m.Out = alloc(r, im, k, &round.Fresh, "o")
+			m.Raw = alloc(r, im, 3*k+8, &round.Fresh)
+			m.Anc = alloc(r, im, k+5, &round.Fresh)
+			m.Out = alloc(r, im, k, &round.Fresh)
 			f.Modules = append(f.Modules, m)
 			round.Modules = append(round.Modules, m.Index)
 		}

@@ -42,16 +42,23 @@ func ApplyHops(f *Factory, hops map[int]circuit.Qubit) error {
 	// insBefore[i] = number of gates inserted before old index i.
 	insBefore := make([]int, len(old)+1)
 	newGates := make([]circuit.Gate, 0, len(old)+len(hops))
+	// Every synthesized Move has exactly one target (validated above), so
+	// one backing array sized 2 per hop holds all new operand slices.
+	backing := make([]circuit.Qubit, 0, 2*len(hops))
+	carve1 := func(q circuit.Qubit) []circuit.Qubit {
+		backing = append(backing, q)
+		return backing[len(backing)-1 : len(backing) : len(backing)]
+	}
 	for i := range old {
 		insBefore[i] = len(newGates) - i
 		g := old[i]
 		if hq, hop := hopOfGate[i]; hop {
 			first := g // Move(src, hop)
-			first.Targets = []circuit.Qubit{hq}
+			first.Targets = carve1(hq)
 			first.Dest = hq
 			second := g // Move(hop, slot)
 			second.Control = hq
-			second.Targets = append([]circuit.Qubit(nil), g.Targets...)
+			second.Targets = carve1(g.Targets[0])
 			newGates = append(newGates, first, second)
 			continue
 		}

@@ -236,6 +236,13 @@ type fdChoice struct {
 // entries instead of holding their simulations forever.
 var fdMemo = memo.New(64)
 
+// fdAnnealer is the process-wide annealing engine behind force-directed
+// placements. Like the mesh simulator pool, its scratch arenas carry
+// across sweep points: every FD evaluation in a batch reuses the same
+// occupancy grid, proposal-order and sample buffers instead of
+// reallocating them per point.
+var fdAnnealer = force.NewAnnealer()
+
 // placeFD anneals the linear mapping and keeps whichever of the initial
 // and annealed candidates actually executes faster (the toolchain
 // evaluates candidates in simulation, §VIII.A).
@@ -249,7 +256,7 @@ func placeFD(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement
 	v, err := fdMemo.Do(key, func() (any, error) {
 		g := graph.FromCircuit(f.Circuit)
 		init := layout.Linear(f)
-		annealed := force.Anneal(g, f.Circuit, init, opt)
+		annealed := fdAnnealer.Anneal(g, f.Circuit, init, opt)
 		// Both candidates are evaluated on one reusable simulator: the
 		// second run reuses the first's arenas and cached dependency DAG
 		// (same circuit), paying only for the Result it returns.

@@ -16,16 +16,29 @@
 // (repulsing whole communities apart or attracting a fragmented
 // community's k-means clusters together) kick the mapping out of the
 // local minimum, as the paper describes.
+//
+// The engine is exposed two ways: a caller-owned Annealer that keeps all
+// annealing scratch (occupancy grid, proposal order, edge samples,
+// community membership) alive across calls, and a package-level Anneal
+// that borrows a pooled Annealer for one-shot use. With Options.Restarts
+// above one, independently seeded runs execute concurrently on a bounded
+// worker pool; per-restart rng streams are derived from the point seed by
+// a SplitMix64 step, so the chosen result depends only on (inputs, seed,
+// Restarts) — never on scheduling or worker count.
 package force
 
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"magicstate/internal/circuit"
 	"magicstate/internal/cluster"
 	"magicstate/internal/graph"
 	"magicstate/internal/layout"
+	"magicstate/internal/stats"
 )
 
 // Options tunes the annealer.
@@ -48,6 +61,16 @@ type Options struct {
 	// for ablation benches.
 	DisableDipole    bool
 	DisableCommunity bool
+	// Restarts runs this many independently seeded annealing runs and
+	// keeps the lowest-cost result (ties broken by restart index, so the
+	// pick is deterministic). 0 or 1 runs the single historical stream,
+	// keeping existing artifacts byte-identical. Restart 0 always uses
+	// the stream rand.NewSource(Seed) itself would produce; restart r>0
+	// uses the SplitMix64-derived child stream of (Seed, r).
+	Restarts int
+	// RestartWorkers caps how many restarts run concurrently (0 =
+	// GOMAXPROCS). Purely a throughput knob: results never depend on it.
+	RestartWorkers int
 }
 
 func (o *Options) fill(n int) {
@@ -78,34 +101,196 @@ func (o *Options) fill(n int) {
 	}
 }
 
+// Annealer is a reusable force-directed annealing engine. It owns a pool
+// of per-run scratch arenas (dense occupancy grid, proposal-order buffer,
+// edge-sample sets, community membership index), so repeated Anneal calls
+// — across sweep points or across the restarts of one point — allocate
+// almost nothing. An Annealer is safe for concurrent use; each concurrent
+// run borrows its own arena from the pool.
+type Annealer struct {
+	pool sync.Pool
+}
+
+// NewAnnealer returns an engine with an empty arena pool.
+func NewAnnealer() *Annealer { return &Annealer{} }
+
+func (a *Annealer) acquire() *runState {
+	if v := a.pool.Get(); v != nil {
+		return v.(*runState)
+	}
+	return &runState{}
+}
+
+func (a *Annealer) release(st *runState) { a.pool.Put(st) }
+
 // Anneal returns an optimized copy of init. c supplies the schedule used
 // for the dipole 2-coloring; it must be the circuit g was built from.
-func Anneal(g *graph.Graph, c *circuit.Circuit, init *layout.Placement, opt Options) *layout.Placement {
+// With opt.Restarts > 1, independently seeded runs execute concurrently
+// and the lowest-cost placement wins (ties to the lowest restart index);
+// the result is byte-identical no matter how many workers ran them.
+func (a *Annealer) Anneal(g *graph.Graph, c *circuit.Circuit, init *layout.Placement, opt Options) *layout.Placement {
 	opt.fill(g.N)
-	rng := rand.New(rand.NewSource(opt.Seed))
-
-	// Work on an expanded canvas so vertices can leave the initial hull.
-	p := init.Clone()
-	p.Normalize()
-	margin := opt.MarginRows
-	for q := range p.Pos {
-		p.Pos[q].X += margin
-		p.Pos[q].Y += margin
-	}
-	p.W += 2 * margin
-	p.H += 2 * margin
-
 	var poles []int
 	if !opt.DisableDipole {
 		poles = graph.Poles(c)
 	}
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	if restarts == 1 {
+		st := a.acquire()
+		p := st.run(g, init, opt, restartRNG(opt.Seed, 0), poles)
+		a.release(st)
+		return p
+	}
+
+	results := make([]*layout.Placement, restarts)
+	costs := make([]float64, restarts)
+	workers := opt.RestartWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := a.acquire()
+			defer a.release(st)
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= restarts {
+					return
+				}
+				p := st.run(g, init, opt, restartRNG(opt.Seed, r), poles)
+				results[r] = p
+				costs[r] = placementCost(g, p)
+			}
+		}()
+	}
+	wg.Wait()
+	best := 0
+	for r := 1; r < restarts; r++ {
+		if costs[r] < costs[best] {
+			best = r
+		}
+	}
+	return results[best]
+}
+
+// restartRNG derives restart r's rng stream. Restart 0 is the plain
+// seeded stream every pre-restart artifact was produced with; higher
+// restarts get decorrelated SplitMix64 child streams. Deriving streams
+// from (seed, r) alone — never from which worker runs them — is what
+// makes parallel restarts schedule-independent.
+func restartRNG(seed int64, r int) *rand.Rand {
+	if r == 0 {
+		return rand.New(rand.NewSource(seed))
+	}
+	return stats.SplitRNG(seed, int64(r))
+}
+
+// placementCost scores a finished restart for the best-of pick: total
+// weighted edge length plus the crossing penalty over every edge pair,
+// the global form of the sampled local cost the sweeps optimize. It is a
+// pure function of the placement, so comparing restarts by it (ties to
+// the lowest index) is deterministic.
+func placementCost(g *graph.Graph, p *layout.Placement) float64 {
+	const crossWeight = 4.0
+	cost := layout.WeightedManhattan(g, p)
+	segs := layout.Segments(g, p)
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if layout.SegmentsConflict(segs[i], segs[j]) {
+				cost += crossWeight
+			}
+		}
+	}
+	return cost
+}
+
+var defaultAnnealer = NewAnnealer()
+
+// Anneal returns an optimized copy of init using a shared pooled engine;
+// it is the one-shot form of Annealer.Anneal. c supplies the schedule
+// used for the dipole 2-coloring; it must be the circuit g was built
+// from.
+func Anneal(g *graph.Graph, c *circuit.Circuit, init *layout.Placement, opt Options) *layout.Placement {
+	return defaultAnnealer.Anneal(g, c, init, opt)
+}
+
+// runState carries the bookkeeping of one annealing run. All of it is
+// reusable scratch: the arrays grow to the high-water mark of the runs
+// they have served and are reset, not reallocated, on the next run.
+type runState struct {
+	g   *graph.Graph
+	p   layout.Placement // owned canvas; Pos is the run's working copy
+	opt Options
+	rng *rand.Rand
+	// occ is a dense W*H occupancy grid over the canvas: 0 means free,
+	// v+1 means qubit v sits on the tile.
+	occ []int32
+	// perm receives the sweep proposal order (rand.Perm replicated into
+	// reused storage).
+	perm []int
+	// allEdges is the identity edge list [0..m) used as the comparison
+	// set when the whole graph fits under CostSample; sample receives
+	// rng-drawn subsets when it does not.
+	allEdges []int
+	sample   []int
+	// osegs/omidX/omidY cache the comparison edges' segments and
+	// midpoints for one localCost evaluation, so the incident x sample
+	// double loop reads them instead of re-deriving four placement
+	// lookups and two float divisions per pair.
+	osegs        []layout.Segment
+	omidX, omidY []float64
+	// memberStart/memberCur/memberList index community members in CSR
+	// form: members of community cid are
+	// memberList[memberStart[cid]:memberStart[cid+1]].
+	memberStart []int32
+	memberCur   []int32
+	memberList  []int
+	// pts is the k-means scratch for communityKick.
+	pts []cluster.Point
+}
+
+// run executes one annealing run against the reused arenas and returns a
+// freshly cloned result (the arena canvas never escapes). The rng draw
+// sequence exactly matches the historical single-shot implementation:
+// community detection first, then per-sweep proposal order, force
+// sampling and move gating in program order.
+func (st *runState) run(g *graph.Graph, init *layout.Placement, opt Options, rng *rand.Rand, poles []int) *layout.Placement {
+	st.g, st.opt, st.rng = g, opt, rng
+
+	// Work on an expanded canvas so vertices can leave the initial hull.
+	n := len(init.Pos)
+	if cap(st.p.Pos) < n {
+		st.p.Pos = make([]layout.Point, n)
+	}
+	st.p.Pos = st.p.Pos[:n]
+	copy(st.p.Pos, init.Pos)
+	st.p.W, st.p.H = init.W, init.H
+	st.p.Normalize()
+	margin := opt.MarginRows
+	for q := range st.p.Pos {
+		st.p.Pos[q].X += margin
+		st.p.Pos[q].Y += margin
+	}
+	st.p.W += 2 * margin
+	st.p.H += 2 * margin
+
 	var comm []int
 	commCount := 0
 	if !opt.DisableCommunity {
 		comm, commCount = graph.Communities(g, rng)
 	}
+	st.buildOcc()
 
-	st := newState(g, p, opt, rng)
 	stuck := 0
 	for iter := 0; iter < opt.Iterations; iter++ {
 		// Community attraction alternates with force sweeps: it compacts
@@ -128,35 +313,30 @@ func Anneal(g *graph.Graph, c *circuit.Circuit, init *layout.Placement, opt Opti
 		}
 	}
 	st.p.Normalize()
-	return st.p
+	out := st.p.Clone()
+	st.g, st.rng = nil, nil
+	return out
 }
 
-// state carries the incremental bookkeeping of one annealing run.
-type state struct {
-	g   *graph.Graph
-	p   *layout.Placement
-	opt Options
-	rng *rand.Rand
-	occ map[layout.Point]int // tile -> qubit
-	// incident[v] lists edge indices touching v.
-	incident [][]int
-}
-
-func newState(g *graph.Graph, p *layout.Placement, opt Options, rng *rand.Rand) *state {
-	st := &state{g: g, p: p, opt: opt, rng: rng, occ: map[layout.Point]int{}}
-	for q, pt := range p.Pos {
-		st.occ[pt] = q
+// buildOcc resets the occupancy grid to the current canvas.
+func (st *runState) buildOcc() {
+	need := st.p.W * st.p.H
+	if cap(st.occ) < need {
+		st.occ = make([]int32, need)
+	} else {
+		st.occ = st.occ[:need]
+		for i := range st.occ {
+			st.occ[i] = 0
+		}
 	}
-	st.incident = make([][]int, g.N)
-	for ei, e := range g.Edges {
-		st.incident[e.U] = append(st.incident[e.U], ei)
-		st.incident[e.V] = append(st.incident[e.V], ei)
+	for q := range st.p.Pos {
+		pt := st.p.Pos[q]
+		st.occ[pt.Y*st.p.W+pt.X] = int32(q) + 1
 	}
-	return st
 }
 
 // forceOn computes the net force vector on vertex v.
-func (st *state) forceOn(v int, poles []int) (fx, fy float64) {
+func (st *runState) forceOn(v int, poles []int) (fx, fy float64) {
 	pv := st.p.At(v)
 	// Attraction to neighborhood centroid.
 	var cx, cy, wsum float64
@@ -174,7 +354,7 @@ func (st *state) forceOn(v int, poles []int) (fx, fy float64) {
 	// other midpoints, inverse-square in midpoint distance.
 	if len(st.g.Edges) > 1 {
 		sample := st.opt.CostSample
-		for _, ei := range st.incident[v] {
+		for _, ei := range st.g.Incident(v) {
 			mvx, mvy := st.midpoint(ei)
 			for s := 0; s < sample; s++ {
 				oi := st.rng.Intn(len(st.g.Edges))
@@ -231,7 +411,7 @@ func (st *state) forceOn(v int, poles []int) (fx, fy float64) {
 	return fx, fy
 }
 
-func (st *state) midpoint(ei int) (float64, float64) {
+func (st *runState) midpoint(ei int) (float64, float64) {
 	e := st.g.Edges[ei]
 	a, b := st.p.At(e.U), st.p.At(e.V)
 	return float64(a.X+b.X) / 2, float64(a.Y+b.Y) / 2
@@ -239,8 +419,8 @@ func (st *state) midpoint(ei int) (float64, float64) {
 
 // sweep proposes one move per vertex along its force and returns how many
 // were accepted.
-func (st *state) sweep(poles []int) int {
-	order := st.rng.Perm(st.g.N)
+func (st *runState) sweep(poles []int) int {
+	order := st.permInto()
 	moved := 0
 	for _, v := range order {
 		fx, fy := st.forceOn(v, poles)
@@ -262,6 +442,24 @@ func (st *state) sweep(poles []int) int {
 	return moved
 }
 
+// permInto replicates rand.Perm into reused storage — including the i==0
+// Intn(1) draw the standard library keeps for stream compatibility — so
+// sweeps consume exactly the rng sequence the historical rng.Perm call
+// did.
+func (st *runState) permInto() []int {
+	n := st.g.N
+	if cap(st.perm) < n {
+		st.perm = make([]int, n)
+	}
+	m := st.perm[:n]
+	for i := 0; i < n; i++ {
+		j := st.rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
 func intSign(f float64) int {
 	switch {
 	case f > 0.25:
@@ -275,7 +473,7 @@ func intSign(f float64) int {
 // tryMove attempts to move v by delta (to a free tile, or swapping with
 // the occupant) and keeps the move only if the sampled cost does not
 // increase.
-func (st *state) tryMove(v int, delta layout.Point) bool {
+func (st *runState) tryMove(v int, delta layout.Point) bool {
 	if delta == (layout.Point{}) {
 		return false
 	}
@@ -284,7 +482,8 @@ func (st *state) tryMove(v int, delta layout.Point) bool {
 	if to.X < 0 || to.X >= st.p.W || to.Y < 0 || to.Y >= st.p.H {
 		return false
 	}
-	occupant, swap := st.occ[to]
+	o := st.occ[to.Y*st.p.W+to.X]
+	occupant, swap := int(o)-1, o != 0
 	// Sample the comparison edge set once so before/after scores differ
 	// only through the move, not through sampling noise.
 	sample := st.sampleEdgeSet()
@@ -305,30 +504,40 @@ func (st *state) tryMove(v int, delta layout.Point) bool {
 	return false
 }
 
-func (st *state) apply(v int, to layout.Point, occupant int, swap bool, from layout.Point) {
+func (st *runState) apply(v int, to layout.Point, occupant int, swap bool, from layout.Point) {
+	w := st.p.W
 	if swap {
 		st.p.Set(occupant, from)
-		st.occ[from] = occupant
+		st.occ[from.Y*w+from.X] = int32(occupant) + 1
 	} else {
-		delete(st.occ, from)
+		st.occ[from.Y*w+from.X] = 0
 	}
 	st.p.Set(v, to)
-	st.occ[to] = v
+	st.occ[to.Y*w+to.X] = int32(v) + 1
 }
 
 // sampleEdgeSet draws the comparison edges used for one move evaluation.
-// Small graphs compare against every edge; large ones against a random
-// subset of CostSample edges.
-func (st *state) sampleEdgeSet() []int {
+// Small graphs compare against every edge (the prebuilt identity list);
+// large ones against a random subset of CostSample edges drawn into
+// reused storage.
+func (st *runState) sampleEdgeSet() []int {
 	m := len(st.g.Edges)
 	if m <= st.opt.CostSample {
-		all := make([]int, m)
-		for i := range all {
-			all[i] = i
+		if len(st.allEdges) != m {
+			if cap(st.allEdges) < m {
+				st.allEdges = make([]int, m)
+			}
+			st.allEdges = st.allEdges[:m]
+			for i := range st.allEdges {
+				st.allEdges[i] = i
+			}
 		}
-		return all
+		return st.allEdges
 	}
-	sample := make([]int, st.opt.CostSample)
+	if cap(st.sample) < st.opt.CostSample {
+		st.sample = make([]int, st.opt.CostSample)
+	}
+	sample := st.sample[:st.opt.CostSample]
 	for i := range sample {
 		sample[i] = st.rng.Intn(m)
 	}
@@ -338,31 +547,46 @@ func (st *state) sampleEdgeSet() []int {
 // localCost scores vertex v's edges against the given comparison edges:
 // weighted length plus crossing count minus spacing, mirroring the
 // paper's cost metric locally.
-func (st *state) localCost(v int, sample []int) float64 {
+func (st *runState) localCost(v int, sample []int) float64 {
 	const crossWeight = 4.0
 	const spacingWeight = 0.5
 	var cost float64
-	edges := st.incident[v]
+	edges := st.g.Incident(v)
 	if len(edges) == 0 {
 		return 0
+	}
+	// Derive each comparison edge's segment and midpoint once: the
+	// expressions match the per-pair forms bit for bit, and the pair
+	// loop accumulates in the same order, so cached reads change no
+	// cost value.
+	if cap(st.osegs) < len(sample) {
+		st.osegs = make([]layout.Segment, len(sample))
+		st.omidX = make([]float64, len(sample))
+		st.omidY = make([]float64, len(sample))
+	}
+	osegs := st.osegs[:len(sample)]
+	omidX, omidY := st.omidX[:len(sample)], st.omidY[:len(sample)]
+	for k, oi := range sample {
+		oe := st.g.Edges[oi]
+		a, b := st.p.At(oe.U), st.p.At(oe.V)
+		osegs[k] = layout.Segment{A: a, B: b}
+		omidX[k] = float64(a.X+b.X) / 2
+		omidY[k] = float64(a.Y+b.Y) / 2
 	}
 	for _, ei := range edges {
 		e := st.g.Edges[ei]
 		a, b := st.p.At(e.U), st.p.At(e.V)
 		cost += e.Weight * float64(layout.Manhattan(a, b))
 		seg := layout.Segment{A: a, B: b}
-		mx, my := st.midpoint(ei)
-		for _, oi := range sample {
+		mx, my := float64(a.X+b.X)/2, float64(a.Y+b.Y)/2
+		for k, oi := range sample {
 			if oi == ei {
 				continue
 			}
-			oe := st.g.Edges[oi]
-			oseg := layout.Segment{A: st.p.At(oe.U), B: st.p.At(oe.V)}
-			if layout.SegmentsConflict(seg, oseg) {
+			if layout.SegmentsConflict(seg, osegs[k]) {
 				cost += crossWeight
 			}
-			ox, oy := st.midpoint(oi)
-			dx, dy := mx-ox, my-oy
+			dx, dy := mx-omidX[k], my-omidY[k]
 			// The spacing penalty only fires under distance 8; comparing
 			// squared distances first skips the Sqrt for the typical far
 			// pair without changing any cost value.
@@ -374,6 +598,44 @@ func (st *state) localCost(v int, sample []int) float64 {
 	return cost
 }
 
+// buildMembers indexes community membership in CSR form over reused
+// storage. It is rebuilt on every use because communityAttract sorts the
+// member lists in place.
+func (st *runState) buildMembers(comm []int, commCount int) {
+	if cap(st.memberStart) < commCount+1 {
+		st.memberStart = make([]int32, commCount+1)
+		st.memberCur = make([]int32, commCount)
+	}
+	starts := st.memberStart[:commCount+1]
+	for i := range starts {
+		starts[i] = 0
+	}
+	for _, cid := range comm {
+		starts[cid+1]++
+	}
+	for i := 1; i <= commCount; i++ {
+		starts[i] += starts[i-1]
+	}
+	cur := st.memberCur[:commCount]
+	copy(cur, starts[:commCount])
+	if cap(st.memberList) < len(comm) {
+		st.memberList = make([]int, len(comm))
+	}
+	list := st.memberList[:len(comm)]
+	for v, cid := range comm {
+		list[cur[cid]] = v
+		cur[cid]++
+	}
+	st.memberStart = starts
+	st.memberList = list
+}
+
+// members returns community cid's member list (vertex-ascending until
+// sorted in place by a consumer).
+func (st *runState) members(cid int) []int {
+	return st.memberList[st.memberStart[cid]:st.memberStart[cid+1]]
+}
+
 // communityAttract compacts every community toward a square block
 // centered on its centroid: each member is assigned a target slot inside
 // the block (row-major, members ordered by current position) and forced
@@ -382,12 +644,10 @@ func (st *state) localCost(v int, sample []int) float64 {
 // the 1-D local minima (a flat line exerts no vertical force at all) and
 // the following sweep re-polishes. The block shape is what "attract all
 // nodes within a single community together" converges to on a grid.
-func (st *state) communityAttract(comm []int, commCount int) {
-	members := make([][]int, commCount)
-	for v, cid := range comm {
-		members[cid] = append(members[cid], v)
-	}
-	for _, vs := range members {
+func (st *runState) communityAttract(comm []int, commCount int) {
+	st.buildMembers(comm, commCount)
+	for cid := 0; cid < commCount; cid++ {
+		vs := st.members(cid)
 		if len(vs) < 3 {
 			continue
 		}
@@ -398,8 +658,8 @@ func (st *state) communityAttract(comm []int, commCount int) {
 			side++
 		}
 		// Order members by current position (row-major) so targets keep
-		// relative order and moves do not cross each other. members was
-		// built fresh above, so the sort can run in place.
+		// relative order and moves do not cross each other. The member
+		// index was rebuilt fresh above, so the sort can run in place.
 		ordered := vs
 		sortBy(ordered, func(a, b int) bool {
 			pa, pb := st.p.At(a), st.p.At(b)
@@ -426,9 +686,10 @@ func (st *state) communityAttract(comm []int, commCount int) {
 
 // forcedMove relocates v by delta when the destination tile is free (or
 // one axis of it is); it never swaps and never consults the cost gate.
-func (st *state) forcedMove(v int, delta layout.Point) bool {
+func (st *runState) forcedMove(v int, delta layout.Point) bool {
 	from := st.p.At(v)
-	for _, d := range []layout.Point{delta, {X: delta.X, Y: 0}, {X: 0, Y: delta.Y}} {
+	cands := [3]layout.Point{delta, {X: delta.X}, {Y: delta.Y}}
+	for _, d := range cands {
 		if d == (layout.Point{}) {
 			continue
 		}
@@ -436,7 +697,7 @@ func (st *state) forcedMove(v int, delta layout.Point) bool {
 		if to.X < 0 || to.X >= st.p.W || to.Y < 0 || to.Y >= st.p.H {
 			continue
 		}
-		if _, occupied := st.occ[to]; occupied {
+		if st.occ[to.Y*st.p.W+to.X] != 0 {
 			continue
 		}
 		st.apply(v, to, 0, false, from)
@@ -458,19 +719,19 @@ func sortBy(xs []int, less func(a, b int) bool) {
 // communityKick applies the paper's two community-level escape moves: it
 // pushes distinct communities' centers apart and pulls each fragmented
 // community's k-means clusters toward their joint center.
-func (st *state) communityKick(comm []int, commCount int) {
-	// Gather members and centers.
-	members := make([][]int, commCount)
-	for v, cid := range comm {
-		members[cid] = append(members[cid], v)
-	}
-	for cid, vs := range members {
+func (st *runState) communityKick(comm []int, commCount int) {
+	st.buildMembers(comm, commCount)
+	for cid := 0; cid < commCount; cid++ {
+		vs := st.members(cid)
 		if len(vs) < 2 {
 			continue
 		}
 		// Cluster the community spatially; if split, attract clusters
 		// toward the community centroid.
-		pts := make([]cluster.Point, len(vs))
+		if cap(st.pts) < len(vs) {
+			st.pts = make([]cluster.Point, len(vs))
+		}
+		pts := st.pts[:len(vs)]
 		for i, v := range vs {
 			pt := st.p.At(v)
 			pts[i] = cluster.Point{X: float64(pt.X), Y: float64(pt.Y)}
@@ -492,6 +753,5 @@ func (st *state) communityKick(comm []int, commCount int) {
 			}
 			st.tryMove(v, layout.Point{X: dx, Y: dy})
 		}
-		_ = cid
 	}
 }

@@ -68,6 +68,11 @@ func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
 // Degree returns the number of distinct neighbors of u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
+// Incident returns the indices of the edges touching u, in ascending edge
+// order. The slice aliases the graph's adjacency storage: callers must
+// treat it as read-only.
+func (g *Graph) Incident(u int) []int { return g.adj[u] }
+
 // WeightedDegree returns the sum of edge weights incident to u.
 func (g *Graph) WeightedDegree(u int) float64 {
 	var s float64

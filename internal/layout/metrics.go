@@ -126,6 +126,14 @@ func SegmentsConflict(s1, s2 Segment) bool {
 		max(s2.A.Y, s2.B.Y) < min(s1.A.Y, s1.B.Y) {
 		return false
 	}
+	return SegmentsConflictTight(s1, s2)
+}
+
+// SegmentsConflictTight is SegmentsConflict without the bounding-box
+// fast-reject: identical answers on any input, meant for callers that
+// have already rejected disjoint boxes themselves (the hop annealer
+// caches segment boxes and tests them inline before each call).
+func SegmentsConflictTight(s1, s2 Segment) bool {
 	shared := 0
 	if s1.A == s2.A || s1.A == s2.B {
 		shared++

@@ -20,6 +20,7 @@ import (
 	"magicstate/internal/graph"
 	"magicstate/internal/layout"
 	"magicstate/internal/partition"
+	"magicstate/internal/sweep/memo"
 )
 
 // HopMode selects the inter-round permutation routing of Fig. 9d.
@@ -86,6 +87,30 @@ type Result struct {
 	HopWires int
 }
 
+// blockKey identifies one module block embedding: (K, Seed) fully
+// determines the single-module build, its interaction graph and the
+// partition embedding, so the result can be shared process-wide.
+type blockKey struct {
+	K    int
+	Seed int64
+}
+
+// blockVal is a memoized module block embedding: the per-register
+// in-block offsets plus block dimensions. Entries are shared across
+// callers and must be treated as read-only.
+type blockVal struct {
+	offsets []layout.Point
+	bw, bh  int
+}
+
+// blockMemo caches module block embeddings. Every stitched build with
+// the same (K, Seed) derives the identical embedding, and sweep grids
+// (reuse scans, hop-mode comparisons, expansion studies) rebuild the
+// same key dozens of times; the single-module generation plus
+// EmbedSquare were the second-largest cost of a stitched build after
+// hop annealing.
+var blockMemo = memo.New(256)
+
 // Build generates and places a hierarchically stitched factory.
 func Build(p bravyi.Params, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
@@ -100,18 +125,32 @@ func Build(p bravyi.Params, opt Options) (*Result, error) {
 
 	// 1. Embed one module's interaction graph as a compact block; every
 	// module shares this layout (modules are identical in schedule).
-	single, err := bravyi.Build(bravyi.Params{K: k, Levels: 1})
+	// offsets[reg] is the in-block tile of register index reg, where reg
+	// follows the allocation order raw(3k+8), anc(k+5), out(k). The
+	// embedding rng is a dedicated Seed+1 stream, so memoizing it does
+	// not shift the build's own draw sequence.
+	bv, err := func() (blockVal, error) {
+		v, err := blockMemo.Do(blockKey{K: k, Seed: opt.Seed}, func() (any, error) {
+			single, err := bravyi.Build(bravyi.Params{K: k, Levels: 1})
+			if err != nil {
+				return nil, err
+			}
+			moduleGraph := graph.FromCircuit(single.Circuit)
+			blockP := partition.EmbedSquare(moduleGraph, rand.New(rand.NewSource(opt.Seed+1)))
+			blockP.Normalize()
+			offsets := make([]layout.Point, qpm)
+			copy(offsets, blockP.Pos)
+			return blockVal{offsets: offsets, bw: blockP.W, bh: blockP.H}, nil
+		})
+		if err != nil {
+			return blockVal{}, err
+		}
+		return v.(blockVal), nil
+	}()
 	if err != nil {
 		return nil, err
 	}
-	moduleGraph := graph.FromCircuit(single.Circuit)
-	blockP := partition.EmbedSquare(moduleGraph, rand.New(rand.NewSource(opt.Seed+1)))
-	blockP.Normalize()
-	bw, bh := blockP.W, blockP.H
-	// offsets[reg] is the in-block tile of register index reg, where reg
-	// follows the allocation order raw(3k+8), anc(k+5), out(k).
-	offsets := make([]layout.Point, qpm)
-	copy(offsets, blockP.Pos)
+	offsets, bw, bh := bv.offsets, bv.bw, bv.bh
 
 	// 2. Block grid arrangement. Round 1 blocks fill a near-square grid;
 	// later rounds either reuse round-1 regions (Reuse) or append blocks
@@ -127,13 +166,13 @@ func Build(p bravyi.Params, opt Options) (*Result, error) {
 	}
 
 	// Closed-form tiles for round-1 qubit ids (allocated module-major,
-	// register-minor by Build).
-	tileOf := make(map[circuit.Qubit]layout.Point)
+	// register-minor by Build): tileOf[id] for ids below n1*qpm; later
+	// ids have no closed-form tile.
+	tileOf := make([]layout.Point, n1*qpm)
 	for im := 0; im < n1; im++ {
 		org := blockOrigin(im)
 		for reg := 0; reg < qpm; reg++ {
-			id := circuit.Qubit(im*qpm + reg)
-			tileOf[id] = layout.Point{X: org.X + offsets[reg].X, Y: org.Y + offsets[reg].Y}
+			tileOf[im*qpm+reg] = layout.Point{X: org.X + offsets[reg].X, Y: org.Y + offsets[reg].Y}
 		}
 	}
 
@@ -152,8 +191,7 @@ func Build(p bravyi.Params, opt Options) (*Result, error) {
 			// more levels) get their tiles only after generation; sort
 			// those to the back so modules prefer compact known regions.
 			known := func(q circuit.Qubit) bool {
-				_, ok := tileOf[q]
-				return ok
+				return int(q) < len(tileOf)
 			}
 			sort.Slice(byTile, func(i, j int) bool {
 				qi, qj := byTile[i], byTile[j]
@@ -205,7 +243,7 @@ func Build(p bravyi.Params, opt Options) (*Result, error) {
 		}
 	}
 	for id, pt := range tileOf {
-		place(id, pt)
+		place(circuit.Qubit(id), pt)
 	}
 	// Gutter row of empty tiles between round-1 grid and appended blocks.
 	nextBlock := ((n1 + bcols - 1) / bcols) * bcols // start of next full block row
@@ -287,15 +325,29 @@ func regIndex(m *bravyi.Module, q circuit.Qubit) int {
 }
 
 // reassignAllPorts runs the Hungarian matching for every module that
-// feeds a later round.
+// feeds a later round. Modules are matched independently (each matching
+// reads only placement tiles and rewrites only its own module's wires),
+// so processing them in ascending module order — rather than the map
+// order an earlier version used — changes nothing but determinism of
+// the work schedule. The cost matrix is carved once and refilled per
+// module.
 func reassignAllPorts(f *bravyi.Factory, pl *layout.Placement) error {
 	k := f.Params.K
 	// Group wires by source module.
-	bySource := make(map[int][]bravyi.Wire)
+	perModule := make([][]bravyi.Wire, len(f.Modules))
 	for _, w := range f.Wires {
-		bySource[w.FromModule] = append(bySource[w.FromModule], w)
+		perModule[w.FromModule] = append(perModule[w.FromModule], w)
 	}
-	for pm, wires := range bySource {
+	cost := make([][]float64, k)
+	backing := make([]float64, k*k)
+	for pi := range cost {
+		cost[pi] = backing[pi*k : (pi+1)*k : (pi+1)*k]
+	}
+	perm := make([]int, k)
+	for pm, wires := range perModule {
+		if len(wires) == 0 {
+			continue // final-round module: feeds nothing
+		}
 		if len(wires) != k {
 			// A module's k ports feed exactly k wires by construction;
 			// anything else indicates corrupted wiring.
@@ -303,9 +355,7 @@ func reassignAllPorts(f *bravyi.Factory, pl *layout.Placement) error {
 		}
 		sort.Slice(wires, func(i, j int) bool { return wires[i].FromPort < wires[j].FromPort })
 		outs := f.Modules[pm].Out
-		cost := make([][]float64, k)
 		for pi := range cost {
-			cost[pi] = make([]float64, k)
 			src := pl.At(int(outs[pi]))
 			for wi, w := range wires {
 				dst := pl.At(int(f.Modules[w.ToModule].Raw[w.ToSlot]))
@@ -319,7 +369,6 @@ func reassignAllPorts(f *bravyi.Factory, pl *layout.Placement) error {
 		// match[pi] = wi means port pi serves wire wi; wires[wi] currently
 		// uses port wires[wi].FromPort == wi (sorted), so the permutation
 		// sending old port wi to new port pi is the inverse of match.
-		perm := make([]int, k)
 		for pi, wi := range match {
 			perm[wi] = pi
 		}

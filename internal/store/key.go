@@ -22,7 +22,7 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // changes meaning (field added, renamed, or reinterpreted). Bumping it
 // changes every key, which safely orphans — never misreads — records
 // written by older encodings.
-const keyFormatVersion = 1
+const keyFormatVersion = 2
 
 // KeyOf returns the canonical content address of cfg. The encoding
 // writes every Config field (including the nested cost model and the
@@ -42,9 +42,14 @@ func KeyOf(cfg core.Config) Key {
 		cfg.Cost.Inject, cfg.Cost.Move)
 	fmt.Fprintf(h, "MeshMode=%d RouteMargin=%d Style=%d Distance=%d RecordPaths=%t\n",
 		int(cfg.MeshMode), cfg.RouteMargin, int(cfg.Style), cfg.Distance, cfg.RecordPaths)
-	fmt.Fprintf(h, "FD={Iterations=%d Seed=%d WAttract=%g WRepulse=%g WDipole=%g CostSample=%d MarginRows=%d DisableDipole=%t DisableCommunity=%t}\n",
+	// FD.RestartWorkers is deliberately left out: it only caps restart
+	// concurrency and can never change the winning placement (guarded by
+	// TestAnnealRestartsDeterministicAcrossWorkerWidths), so configs that
+	// differ only in worker width share one stored result.
+	fmt.Fprintf(h, "FD={Iterations=%d Seed=%d WAttract=%g WRepulse=%g WDipole=%g CostSample=%d MarginRows=%d DisableDipole=%t DisableCommunity=%t Restarts=%d}\n",
 		cfg.FD.Iterations, cfg.FD.Seed, cfg.FD.WAttract, cfg.FD.WRepulse, cfg.FD.WDipole,
-		cfg.FD.CostSample, cfg.FD.MarginRows, cfg.FD.DisableDipole, cfg.FD.DisableCommunity)
+		cfg.FD.CostSample, cfg.FD.MarginRows, cfg.FD.DisableDipole, cfg.FD.DisableCommunity,
+		cfg.FD.Restarts)
 	fmt.Fprintf(h, "Stitch={Seed=%d Reuse=%t Hops=%d HopIters=%d DisablePortReassign=%t ExpandSpacing=%d NoBarriers=%t}\n",
 		cfg.Stitch.Seed, cfg.Stitch.Reuse, int(cfg.Stitch.Hops), cfg.Stitch.HopIters,
 		cfg.Stitch.DisablePortReassign, cfg.Stitch.ExpandSpacing, cfg.Stitch.NoBarriers)

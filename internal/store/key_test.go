@@ -13,9 +13,9 @@ import (
 func TestKeyOfPinnedDigest(t *testing.T) {
 	// The canonical encoding must be stable across processes and
 	// releases: a silent change would orphan every existing store. This
-	// digest was produced by keyFormatVersion 1; if the encoding must
-	// change, bump keyFormatVersion and re-pin.
-	const want = "c29f199220c39360ebd0eb76069c67bb01f84f90add1ff895d1e5399b68a7dab"
+	// digest was produced by keyFormatVersion 2 (which added FD.Restarts);
+	// if the encoding must change, bump keyFormatVersion and re-pin.
+	const want = "02287c2b288a349dfb792f21761c52390a76a0066da1ce6a034a0a62f2c0d3c9"
 	got := KeyOf(core.Config{K: 4, Levels: 2, Reuse: true, Strategy: core.StrategyStitch, Seed: 7}).String()
 	if got != want {
 		t.Fatalf("KeyOf digest drifted:\n got %s\nwant %s\n(bump keyFormatVersion if the encoding changed on purpose)", got, want)
@@ -43,6 +43,7 @@ func TestKeyOfDistinguishesEveryField(t *testing.T) {
 	add("Distance", func(c *core.Config) { c.Distance = 11 })
 	add("RecordPaths", func(c *core.Config) { c.RecordPaths = true })
 	add("FD", func(c *core.Config) { c.FD = force.Options{Iterations: 9} })
+	add("FD.Restarts", func(c *core.Config) { c.FD.Restarts = 2 })
 	add("Stitch", func(c *core.Config) { c.Stitch = stitch.Options{HopIters: 9} })
 
 	baseKey := KeyOf(base)
@@ -53,6 +54,14 @@ func TestKeyOfDistinguishesEveryField(t *testing.T) {
 			t.Errorf("mutating %s collides with %s", name, prev)
 		}
 		seen[k] = name
+	}
+
+	// RestartWorkers must NOT change the key: it cannot change the
+	// result, and keying on it would fracture the store by machine width.
+	workers := base
+	workers.FD.RestartWorkers = 8
+	if KeyOf(workers) != baseKey {
+		t.Error("FD.RestartWorkers changed the key; it is result-invariant and must stay excluded")
 	}
 }
 
@@ -79,9 +88,12 @@ func TestKeyGuardsConfigFields(t *testing.T) {
 		"MeshMode", "RouteMargin", "Style", "Distance", "RecordPaths", "FD", "Stitch",
 	})
 	check(resource.CostModel{}, []string{"Prep", "H", "Meas", "CNOT", "CXX", "Inject", "Move"})
+	// RestartWorkers is in this guard list but intentionally absent from
+	// KeyOf: it is a pure throughput knob that cannot affect results.
 	check(force.Options{}, []string{
 		"Iterations", "Seed", "WAttract", "WRepulse", "WDipole",
 		"CostSample", "MarginRows", "DisableDipole", "DisableCommunity",
+		"Restarts", "RestartWorkers",
 	})
 	check(stitch.Options{}, []string{
 		"Seed", "Reuse", "Hops", "HopIters", "DisablePortReassign",
