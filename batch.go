@@ -76,11 +76,18 @@ func OptimizeBatch(points []BatchPoint, opts BatchOptions) ([]*Result, error) {
 
 // optimizeOn is Optimize routed through a sweep engine's memo cache.
 func optimizeOn(eng *sweep.Engine, spec FactorySpec, opts Options) (*Result, error) {
+	return optimizeOnContext(context.Background(), eng, spec, opts)
+}
+
+// optimizeOnContext is optimizeOn with cooperative cancellation: ctx is
+// checked at pipeline stage boundaries, so abandoned work stops costing
+// compute. Context errors are never memoized (see sweep.RunOneContext).
+func optimizeOnContext(ctx context.Context, eng *sweep.Engine, spec FactorySpec, opts Options) (*Result, error) {
 	cfg, err := optimizeConfig(spec, opts)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := eng.RunOne(cfg)
+	rep, err := eng.RunOneContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

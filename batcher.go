@@ -1,6 +1,7 @@
 package magicstate
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -21,6 +22,12 @@ type BatcherOptions struct {
 	// missing; a store left behind by a killed process is recovered to
 	// its longest valid prefix on open.
 	Checkpoint string
+	// StoreFaults is a test-only fault-injection spec for the checkpoint
+	// store, in the grammar of store.ParseFaultPlan (e.g.
+	// "failwrite=7,shortwrite=19,stall=10:1ms"). It exists so soak
+	// harnesses can exercise store failure recovery deliberately; leave
+	// it empty in production. Ignored without a Checkpoint.
+	StoreFaults string
 }
 
 // Batcher is a reusable optimization runner that carries one cache tier
@@ -46,7 +53,16 @@ func NewBatcher(opts BatcherOptions) (*Batcher, error) {
 	var st *store.Store
 	if opts.Checkpoint != "" {
 		var err error
-		if st, err = store.Open(opts.Checkpoint); err != nil {
+		if opts.StoreFaults != "" {
+			plan, perr := store.ParseFaultPlan(opts.StoreFaults)
+			if perr != nil {
+				return nil, perr
+			}
+			st, err = store.OpenWithFaults(opts.Checkpoint, plan)
+		} else {
+			st, err = store.Open(opts.Checkpoint)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -63,6 +79,55 @@ func NewBatcher(opts BatcherOptions) (*Batcher, error) {
 // result includes simulation artifacts the store does not keep.
 func (b *Batcher) Optimize(spec FactorySpec, opts Options) (*Result, error) {
 	return optimizeOn(b.eng, spec, opts)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: ctx is
+// checked at pipeline stage boundaries (factory build, placement,
+// simulation), so a caller that goes away — a disconnected HTTP client,
+// an expired request deadline — stops costing compute at the next
+// boundary. A cancelled computation returns ctx.Err() and caches
+// nothing; the next request for the point computes afresh.
+func (b *Batcher) OptimizeContext(ctx context.Context, spec FactorySpec, opts Options) (*Result, error) {
+	return optimizeOnContext(ctx, b.eng, spec, opts)
+}
+
+// Lookup answers a point from the batcher's cache tier without ever
+// computing or blocking on an in-flight computation: a completed
+// in-memory result first, the durable store second. The boolean reports
+// whether the point was cached. It is the degrade-gracefully fast path
+// for overloaded services: a point already paid for can be served even
+// when no compute budget remains. Trace-carrying options (Options.Trace)
+// are never served from the durable tier — the stored scalars cannot
+// rebuild a trace — but a completed in-memory entry can satisfy them.
+func (b *Batcher) Lookup(spec FactorySpec, opts Options) (*Result, bool) {
+	cfg, err := optimizeConfig(spec, opts)
+	if err != nil {
+		return nil, false
+	}
+	rep, ok := b.eng.PeekOne(cfg)
+	if !ok {
+		return nil, false
+	}
+	res, err := resultFromReport(rep, opts)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// PointKey returns the canonical content address of a (spec, opts)
+// point — the same key the durable store files results under — as
+// lowercase hex. Two points share a key exactly when they lower to the
+// same pipeline configuration, which is what makes the key the right
+// identity for cross-request singleflight: N concurrent requests whose
+// keys match are asking for one computation. The error mirrors what
+// Optimize would reject (invalid capacity, unknown names).
+func PointKey(spec FactorySpec, opts Options) (string, error) {
+	cfg, err := optimizeConfig(spec, opts)
+	if err != nil {
+		return "", err
+	}
+	return store.KeyOf(cfg).String(), nil
 }
 
 // OptimizeBatch evaluates points like the package-level OptimizeBatch,
@@ -83,8 +148,15 @@ func (b *Batcher) OptimizeBatch(points []BatchPoint, opts BatchOptions) ([]*Resu
 		}
 	}
 	eng := b.eng.Derive(sweep.Options{Workers: opts.Parallelism, Progress: opts.Progress})
-	return sweep.Map(opts.Context, eng, points, func(_ int, pt BatchPoint) (*Result, error) {
-		return optimizeOn(eng, pt.Spec, pt.Opts)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return sweep.Map(ctx, eng, points, func(_ int, pt BatchPoint) (*Result, error) {
+		// The batch context reaches each point's pipeline stages, not
+		// just the gaps between points: a cancelled batch stops
+		// mid-point at the next stage boundary.
+		return optimizeOnContext(ctx, eng, pt.Spec, pt.Opts)
 	})
 }
 

@@ -1,6 +1,8 @@
 package magicstate
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -118,5 +120,81 @@ func TestOptimizeBatchCheckpointOption(t *testing.T) {
 	}
 	if *plain[0] != *ck[0] || *plain[0] != *again[0] {
 		t.Fatalf("checkpointed results diverge: %+v / %+v / %+v", *plain[0], *ck[0], *again[0])
+	}
+}
+
+// TestBatcherLookupAndPointKey covers the admission-free service fast
+// path: Lookup answers only already-paid points, and PointKey is stable
+// for identical points and distinct for different ones.
+func TestBatcherLookupAndPointKey(t *testing.T) {
+	b, err := NewBatcher(BatcherOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	spec := FactorySpec{Capacity: 4, Levels: 1}
+	if _, ok := b.Lookup(spec, Options{}); ok {
+		t.Fatal("Lookup hit before any computation")
+	}
+	want, err := b.Optimize(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Lookup(spec, Options{})
+	if !ok {
+		t.Fatal("Lookup missed a computed point")
+	}
+	if *got != *want {
+		t.Fatalf("Lookup = %+v, want %+v", got, want)
+	}
+	// Trace results never come from the cache tier (paths are not
+	// persisted); Lookup must refuse rather than serve a pathless result.
+	if _, ok := b.Lookup(spec, Options{Trace: true}); ok {
+		t.Fatal("Lookup served a Trace point from the pathless cache")
+	}
+
+	k1, err := PointKey(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := PointKey(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("PointKey not stable: %q vs %q", k1, k2)
+	}
+	k3, err := PointKey(spec, Options{Seed: 1}.WithStrategy(RandomMapping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("distinct points share a key")
+	}
+	if _, err := PointKey(FactorySpec{Capacity: 5, Levels: 2}, Options{}); err == nil {
+		t.Fatal("PointKey accepted an invalid spec")
+	}
+}
+
+// TestBatcherOptimizeContextCancel: a cancelled context surfaces as a
+// context error and the point is not cached.
+func TestBatcherOptimizeContextCancel(t *testing.T) {
+	b, err := NewBatcher(BatcherOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := FactorySpec{Capacity: 4, Levels: 1}
+	if _, err := b.OptimizeContext(ctx, spec, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimizeContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, ok := b.Lookup(spec, Options{}); ok {
+		t.Fatal("cancelled computation was cached")
+	}
+	if _, err := b.Optimize(spec, Options{}); err != nil {
+		t.Fatalf("Optimize after cancelled attempt: %v", err)
 	}
 }

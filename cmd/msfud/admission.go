@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull reports that the admission waiting room is at capacity;
+// handlers translate it to 429 + Retry-After.
+var errQueueFull = errors.New("msfud: admission queue full")
+
+// admission is the service's compute budget: at most maxInflight
+// requests execute at once, at most maxQueue more wait for a slot, and
+// everything beyond that is rejected immediately so load sheds at the
+// door instead of accumulating as unbounded goroutines. Cache hits
+// bypass admission entirely (they cost microseconds); only work that
+// may compute pays for a ticket.
+type admission struct {
+	maxInflight int
+	maxQueue    int
+	slots       chan struct{}
+	queued      atomic.Int64
+	inflight    atomic.Int64
+	rejected    atomic.Int64
+}
+
+// newAdmission sizes the budget. Non-positive maxInflight falls back to
+// 1; negative maxQueue means an empty waiting room (admit or reject,
+// never wait).
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight <= 0 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		maxInflight: maxInflight,
+		maxQueue:    maxQueue,
+		slots:       make(chan struct{}, maxInflight),
+	}
+}
+
+// reservation is a claim on the admission budget: either a held
+// execution slot or a place in the waiting room, converted to a slot by
+// wait. Exactly one of wait or abandon must be called.
+type reservation struct {
+	a        *admission
+	slotHeld bool
+}
+
+// reserve claims budget without blocking: an execution slot when one is
+// free, a queue place otherwise, errQueueFull when the waiting room is
+// at capacity. It is the synchronous half of admission, so the batch
+// job path can answer 429 at submit time while the waiting happens in
+// the job's own goroutine.
+func (a *admission) reserve() (*reservation, error) {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return &reservation{a: a, slotHeld: true}, nil
+	default:
+	}
+	if a.queued.Add(1) > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	return &reservation{a: a}, nil
+}
+
+// wait blocks until the reservation holds an execution slot or ctx
+// ends, returning the release func the holder must call exactly once.
+func (r *reservation) wait(ctx context.Context) (release func(), err error) {
+	a := r.a
+	if !r.slotHeld {
+		select {
+		case a.slots <- struct{}{}:
+			a.queued.Add(-1)
+			a.inflight.Add(1)
+			r.slotHeld = true
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inflight.Add(-1)
+			<-a.slots
+		})
+	}, nil
+}
+
+// abandon gives up a reservation that was never waited on (the request
+// died between reserve and wait).
+func (r *reservation) abandon() {
+	if r.slotHeld {
+		r.a.inflight.Add(-1)
+		<-r.a.slots
+	} else {
+		r.a.queued.Add(-1)
+	}
+}
+
+// acquire is reserve+wait for synchronous callers.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	r, err := a.reserve()
+	if err != nil {
+		return nil, err
+	}
+	return r.wait(ctx)
+}
+
+// rateLimiter is a per-client token bucket keyed by remote address.
+// Each client accrues rate tokens per second up to burst; a request
+// spends one. The zero rate disables limiting entirely.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	limited atomic.Int64
+}
+
+// bucket is one client's token balance at a refill instant.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTrackedClients bounds the limiter's memory: past it, buckets that
+// have fully refilled (idle clients) are dropped — rejoining at full
+// burst is exactly what a fresh bucket grants anyway.
+const maxTrackedClients = 4096
+
+// newRateLimiter builds a limiter granting rate tokens/second with the
+// given burst (non-positive burst defaults to max(1, rate)). rate <= 0
+// disables limiting: allow always succeeds.
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst <= 0 {
+		burst = math.Max(1, rate)
+	}
+	return &rateLimiter{rate: rate, burst: burst, clients: make(map[string]*bucket)}
+}
+
+// allow spends one token for client, reporting whether the request may
+// proceed and, when it may not, how long until a token accrues (the
+// Retry-After the handler advertises).
+func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, present := rl.clients[client]
+	if !present {
+		if len(rl.clients) >= maxTrackedClients {
+			rl.pruneLocked(now)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.clients[client] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	rl.limited.Add(1)
+	need := (1 - b.tokens) / rl.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have refilled to burst — clients idle
+// long enough that forgetting them is observationally free.
+func (rl *rateLimiter) pruneLocked(now time.Time) {
+	for c, b := range rl.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*rl.rate >= rl.burst {
+			delete(rl.clients, c)
+		}
+	}
+}

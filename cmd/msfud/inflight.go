@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"magicstate"
+)
+
+// flightTable is the HTTP layer's cross-request singleflight: a
+// process-wide in-flight map keyed by the store's canonical config key
+// (magicstate.PointKey), so N concurrent clients asking for the same
+// not-yet-cached point share one computation and one result fan-out.
+// It lifts the sweep memo's singleflight semantics up to where request
+// lifetimes live: the shared computation runs on its own context that
+// stays alive until the last interested caller leaves, so one client
+// disconnecting never kills a computation other clients still want —
+// and when every client vanishes, the work is cancelled instead of
+// burning compute for nobody.
+type flightTable struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// leaders counts computations started; shared counts requests that
+	// joined an existing flight instead of starting their own. The two
+	// are the /metrics evidence that duplicate-heavy traffic collapses.
+	leaders atomic.Int64
+	shared  atomic.Int64
+}
+
+// flight is one in-progress computation and its subscribers.
+type flight struct {
+	refs   int // callers still waiting; last one out cancels
+	cancel context.CancelFunc
+	done   chan struct{} // closed once res/err are set
+	res    *magicstate.Result
+	err    error
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{m: make(map[string]*flight)}
+}
+
+// do returns the result for key, starting fn at most once across all
+// concurrent callers. fn runs on a context detached from any single
+// request and cancelled when the last waiting caller's ctx ends; a
+// caller whose own ctx ends first leaves with ctx.Err() while the
+// flight carries on for the others. joined reports whether this call
+// shared an existing flight (for per-request accounting).
+func (t *flightTable) do(ctx context.Context, key string, fn func(context.Context) (*magicstate.Result, error)) (res *magicstate.Result, joined bool, err error) {
+	t.mu.Lock()
+	f, ok := t.m[key]
+	if ok {
+		f.refs++
+		t.mu.Unlock()
+		t.shared.Add(1)
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+		t.m[key] = f
+		t.mu.Unlock()
+		t.leaders.Add(1)
+		go func() {
+			f.res, f.err = fn(fctx)
+			t.mu.Lock()
+			// Remove before signalling completion so a request arriving
+			// after the result is out starts a fresh flight (the cache
+			// tier, not this table, is where finished results live).
+			if t.m[key] == f {
+				delete(t.m, key)
+			}
+			t.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+	}
+
+	select {
+	case <-f.done:
+		t.leave(f)
+		return f.res, ok, f.err
+	case <-ctx.Done():
+		t.leave(f)
+		return nil, ok, ctx.Err()
+	}
+}
+
+// leave drops one subscriber; the last one out cancels the flight's
+// context (a no-op once the computation finished).
+func (t *flightTable) leave(f *flight) {
+	t.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	t.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// size reports the live flight count (tests and the queue-depth view).
+func (t *flightTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

@@ -7,7 +7,9 @@
 //
 // Usage:
 //
-//	msfud [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-points N] [-addr-file FILE]
+//	msfud [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-points N]
+//	      [-max-inflight N] [-max-queue N] [-rate R] [-burst B]
+//	      [-request-timeout D] [-drain-timeout D] [-addr-file FILE]
 //
 // Endpoints (see API.md for request/response bodies and curl examples):
 //
@@ -16,6 +18,7 @@
 //	GET    /v1/jobs/{id}  poll a batch job
 //	DELETE /v1/jobs/{id}  cancel a batch job
 //	GET    /v1/stats      cache hit rates, job counters, uptime
+//	GET    /metrics       the same counters, Prometheus text format
 //
 // -parallel caps the worker pool any single request may use (default:
 // one per CPU); requests may ask for less, never more. -max-points
@@ -23,12 +26,21 @@
 // durable tier: results are persisted to DIR (created on first use,
 // crash-recovered on open) and served from disk across restarts.
 //
+// Overload behavior (see DESIGN.md "Admission control"): at most
+// -max-inflight compute-carrying requests execute at once, -max-queue
+// more wait, and the rest answer 429 + Retry-After. Cache hits bypass
+// the budget entirely. -rate adds a per-client token bucket;
+// -request-timeout bounds one synchronous request's total service time
+// and propagates as a context deadline into the pipeline.
+//
 // -addr supports port 0 for an OS-assigned port; the resolved address
 // is printed on stdout and, with -addr-file, written to FILE — which is
 // how the CI smoke test boots the service on a random free port.
 //
-// SIGINT/SIGTERM shut the service down gracefully: in-flight requests
-// and jobs are cancelled, and the store is flushed and closed.
+// SIGINT/SIGTERM shut the service down gracefully: new compute requests
+// answer 503 + Retry-After, in-flight requests and jobs are cancelled,
+// live SSE streams get their terminal frame, and the store is flushed
+// and closed.
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 	"time"
 
 	"magicstate"
+	"magicstate/internal/store"
 )
 
 func main() {
@@ -53,9 +66,25 @@ func main() {
 	storeDir := flag.String("store", "", "durable result store directory (empty = in-memory cache only)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max sweep workers any single request may use")
 	maxPoints := flag.Int("max-points", 4096, "max grid points one batch request may expand to")
+	maxInflight := flag.Int("max-inflight", runtime.NumCPU(), "max compute-carrying requests executing at once")
+	maxQueue := flag.Int("max-queue", 64, "max requests waiting for an execution slot (beyond it: 429)")
+	rate := flag.Float64("rate", 0, "per-client rate limit in requests/second (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "per-client burst size (0 = max(1, rate))")
+	requestTimeout := flag.Duration("request-timeout", 0, "deadline for one synchronous request, queue wait included (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight work")
+	faultStore := flag.String("fault-store", "", "TESTING ONLY: store fault injection plan, e.g. failwrite=3,stall=5:10ms")
 	flag.Parse()
 
-	if err := run(*addr, *addrFile, *storeDir, *parallel, *maxPoints); err != nil {
+	cfg := serverConfig{
+		MaxParallel:    *parallel,
+		MaxPoints:      *maxPoints,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		Rate:           *rate,
+		Burst:          *burst,
+		RequestTimeout: *requestTimeout,
+	}
+	if err := run(*addr, *addrFile, *storeDir, *faultStore, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -63,17 +92,25 @@ func main() {
 
 // run wires the batcher, listener and signal handling; split from main
 // so every exit path returns through the deferred cleanup.
-func run(addr, addrFile, storeDir string, parallel, maxPoints int) error {
+func run(addr, addrFile, storeDir, faultSpec string, cfg serverConfig, drainTimeout time.Duration) error {
+	if faultSpec != "" {
+		// Validate eagerly so a typo'd plan fails at boot, not mid-soak.
+		if _, err := store.ParseFaultPlan(faultSpec); err != nil {
+			return fmt.Errorf("-fault-store: %w", err)
+		}
+		fmt.Println("msfud: WARNING: store fault injection active (-fault-store); not for production")
+	}
 	b, err := magicstate.NewBatcher(magicstate.BatcherOptions{
-		Parallelism: parallel,
+		Parallelism: cfg.MaxParallel,
 		Checkpoint:  storeDir,
+		StoreFaults: faultSpec,
 	})
 	if err != nil {
 		return err
 	}
 	defer b.Close()
 
-	srv := newServer(b, parallel, maxPoints)
+	srv := newServer(b, cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -100,13 +137,16 @@ func run(addr, addrFile, storeDir string, parallel, maxPoints int) error {
 		return err
 	case s := <-sig:
 		fmt.Printf("msfud: %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain order: flip to draining first (new compute answers 503
+		// + Retry-After, jobs and SSE streams are cancelled), then let
+		// the HTTP layer finish writing responses, then wait for job
+		// goroutines before the deferred store close, so nothing races
+		// a PutReport against the closing store.
+		srv.startDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := hs.Shutdown(ctx)
-		// Async jobs outlive their HTTP requests: cancel them and wait
-		// for their goroutines before the deferred store close, so
-		// nothing races a PutReport against the closing store.
-		srv.drainJobs(10 * time.Second)
+		srv.awaitJobs(drainTimeout)
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}

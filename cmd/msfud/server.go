@@ -3,7 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,24 +16,70 @@ import (
 	"magicstate"
 )
 
-// server is the msfud HTTP service: request parsing, job tracking and
-// SSE streaming around one shared magicstate.Batcher, so every request
-// — single point, streamed grid, polled job — draws from the same
-// memory + disk cache tier.
+// maxRequestBody bounds every /v1 JSON body. The largest legitimate
+// request — a 4096-point explicit batch — fits in a fraction of this;
+// anything bigger is a client bug or an attack, rejected before it can
+// balloon the decoder.
+const maxRequestBody = 1 << 20
+
+// drainRetryAfterSeconds is the Retry-After advertised with 503s while
+// the service drains for shutdown: long enough for a restart or a load
+// balancer failover, short enough that clients come back.
+const drainRetryAfterSeconds = 5
+
+// serverConfig carries the service's robustness budget from flags to
+// the handler stack.
+type serverConfig struct {
+	// MaxParallel caps the sweep workers any single request may use.
+	MaxParallel int
+	// MaxPoints bounds a single batch request's grid expansion.
+	MaxPoints int
+	// MaxInflight and MaxQueue size the admission budget: at most
+	// MaxInflight compute-carrying requests execute at once, at most
+	// MaxQueue more wait, and the rest answer 429 + Retry-After.
+	MaxInflight int
+	MaxQueue    int
+	// Rate and Burst configure the per-client token bucket (requests
+	// per second and bucket size, keyed by remote address). Rate <= 0
+	// disables rate limiting.
+	Rate  float64
+	Burst float64
+	// RequestTimeout bounds one synchronous request's total service
+	// time (queue wait + compute); zero means no deadline. The deadline
+	// propagates as a context through the sweep engine into the
+	// pipeline, so timed-out work stops at the next stage boundary.
+	RequestTimeout time.Duration
+}
+
+// server is the msfud HTTP service: request parsing, admission control,
+// cross-request singleflight, job tracking and SSE streaming around one
+// shared magicstate.Batcher, so every request — single point, streamed
+// grid, polled job — draws from the same memory + disk cache tier and
+// the same compute budget.
 type server struct {
-	batcher     *magicstate.Batcher
-	maxParallel int // per-request parallelism cap (the batcher's width)
-	maxPoints   int // per-request grid size cap
-	started     time.Time
+	batcher *magicstate.Batcher
+	cfg     serverConfig
+
+	adm     *admission
+	rl      *rateLimiter
+	flights *flightTable
+	met     *metrics
+
+	// draining flips once at shutdown: new compute requests answer 503
+	// + Retry-After while in-flight work finishes or is cancelled.
+	draining atomic.Bool
 
 	mu        sync.Mutex
 	jobs      map[string]*job
 	nextJob   int64
 	pruneFrom int64 // lowest job number that might still be evictable
 
-	jobWG      sync.WaitGroup
-	jobsDone   atomic.Int64
-	jobsFailed atomic.Int64
+	// streamCancels tracks live SSE requests so drain can end them with
+	// a terminal frame instead of stalling shutdown behind them.
+	streamCancels map[int64]context.CancelFunc
+	nextStream    int64
+
+	jobWG sync.WaitGroup
 }
 
 // job is one asynchronous /v1/batch evaluation.
@@ -45,30 +94,58 @@ type job struct {
 	err      error
 }
 
-// newServer wires a server around a batcher. maxParallel caps what any
-// single request may ask for; maxPoints bounds grid expansion so one
-// request cannot queue unbounded work.
-func newServer(b *magicstate.Batcher, maxParallel, maxPoints int) *server {
-	return &server{
-		batcher:     b,
-		maxParallel: maxParallel,
-		maxPoints:   maxPoints,
-		started:     time.Now(),
-		jobs:        make(map[string]*job),
-		pruneFrom:   1,
+// newServer wires a server around a batcher under the given budget.
+func newServer(b *magicstate.Batcher, cfg serverConfig) *server {
+	s := &server{
+		batcher:       b,
+		cfg:           cfg,
+		adm:           newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		rl:            newRateLimiter(cfg.Rate, cfg.Burst),
+		flights:       newFlightTable(),
+		jobs:          make(map[string]*job),
+		streamCancels: make(map[int64]context.CancelFunc),
+		pruneFrom:     1,
 	}
+	s.met = newMetrics(b, s.adm, s.rl, s.flights, s.jobsInFlight)
+	return s
 }
 
-// drainJobs cancels every running job and waits (up to the deadline)
-// for their goroutines to finish, so the store can be closed without
-// racing in-flight PutReport calls. Called once during shutdown, after
-// the HTTP listener stops accepting work.
-func (s *server) drainJobs(timeout time.Duration) {
+// jobsInFlight counts unfinished jobs (the /metrics gauge).
+func (s *server) jobsInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		select {
+		case <-j.finished:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// startDrain begins graceful shutdown: new compute requests answer 503
+// + Retry-After, running jobs are cancelled, and live SSE streams get
+// their terminal frame. Idempotent.
+func (s *server) startDrain() {
+	if s.draining.Swap(true) {
+		return
+	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		j.cancel()
 	}
+	for _, cancel := range s.streamCancels {
+		cancel()
+	}
 	s.mu.Unlock()
+}
+
+// awaitJobs waits (up to the deadline) for job goroutines to finish, so
+// the store can be closed without racing in-flight PutReport calls.
+// Called during shutdown, after startDrain cancelled the jobs.
+func (s *server) awaitJobs(timeout time.Duration) {
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()
@@ -80,15 +157,130 @@ func (s *server) drainJobs(timeout time.Duration) {
 	}
 }
 
-// handler builds the service's route table.
+// drainJobs is the full drain sequence (tests exercise it; main runs
+// startDrain and awaitJobs around the HTTP listener shutdown).
+func (s *server) drainJobs(timeout time.Duration) {
+	s.startDrain()
+	s.awaitJobs(timeout)
+}
+
+// handler builds the service's route table, each route wrapped in the
+// metrics middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.met.handleMetrics))
 	return mux
+}
+
+// statusRecorder captures the status code a handler writes, so the
+// metrics middleware can label the request. It forwards Flush for the
+// SSE path.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer (SSE streaming needs it).
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps a handler with request counting and latency
+// accounting. A handler that wrote nothing because its client vanished
+// is recorded under the conventional code 499 (client closed request).
+func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		code := rec.status
+		if code == 0 {
+			if r.Context().Err() != nil {
+				code = 499
+			} else {
+				code = http.StatusOK
+			}
+		}
+		s.met.observe(path, code, time.Since(start))
+	}
+}
+
+// gate applies the pre-compute admission checks shared by the optimize
+// and batch endpoints: 503 while draining, then the per-client rate
+// limit. It reports whether the request may proceed (the response has
+// been written when not).
+func (s *server) gate(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", drainRetryAfterSeconds))
+		httpError(w, http.StatusServiceUnavailable, "shutting down, retry against another replica")
+		return false
+	}
+	client := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(client); err == nil {
+		client = host
+	}
+	if ok, retryAfter := s.rl.allow(client, time.Now()); !ok {
+		secs := int(retryAfter.Seconds()) + 1
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		w.Header().Set("X-RateLimit-Limit", fmt.Sprintf("%g", s.rl.rate))
+		httpError(w, http.StatusTooManyRequests, "rate limit exceeded for %s: %g requests/s, retry in %ds", client, s.rl.rate, secs)
+		return false
+	}
+	return true
+}
+
+// rejectQueueFull answers a request the admission budget turned away.
+func (s *server) rejectQueueFull(w http.ResponseWriter) {
+	secs := s.met.retryAfterSeconds()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	httpError(w, http.StatusTooManyRequests,
+		"server at capacity (%d executing, %d queued), retry in %ds",
+		s.adm.maxInflight, s.adm.maxQueue, secs)
+}
+
+// decodeJSON strictly decodes a bounded request body into v: bodies
+// over maxRequestBody, unknown fields (typo'd requests must not be
+// silently tolerated), malformed JSON and trailing garbage all answer
+// a structured 400. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			httpError(w, http.StatusBadRequest, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
 }
 
 // optimizeRequest is the JSON body of /v1/optimize and one point of a
@@ -240,14 +432,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// handleOptimize evaluates one point synchronously. Request timeouts
-// and disconnects cancel nothing mid-pipeline (a single point is the
-// smallest unit of work), but the result of every computed point lands
-// in the cache tier either way.
+// requestContext derives the compute context for one synchronous
+// request: the client's own context, bounded by the server's
+// per-request deadline when one is configured.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// handleOptimize evaluates one point synchronously. Three tiers, in
+// order: a cache hit (memory or disk) is served immediately without
+// touching the admission budget; a point someone else is computing
+// right now joins that flight and shares its result; only a genuinely
+// new point pays for admission and compute. The request context — with
+// the client's disconnect and the server's -request-timeout deadline —
+// propagates into the pipeline, so abandoned work actually stops; a
+// shared computation survives until its last subscriber is gone.
 func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	var req optimizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	pt, err := req.point()
@@ -255,12 +463,40 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.batcher.Optimize(pt.Spec, pt.Opts)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "optimize: %v", err)
+	if res, ok := s.batcher.Lookup(pt.Spec, pt.Opts); ok {
+		writeJSON(w, http.StatusOK, resultToJSON(res))
 		return
 	}
-	writeJSON(w, http.StatusOK, resultToJSON(res))
+	key, err := magicstate.PointKey(pt.Spec, pt.Opts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, _, err := s.flights.do(ctx, key, func(fctx context.Context) (*magicstate.Result, error) {
+		release, err := s.adm.acquire(fctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.batcher.OptimizeContext(fctx, pt.Spec, pt.Opts)
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resultToJSON(res))
+	case errors.Is(err, errQueueFull):
+		s.rejectQueueFull(w)
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.met.retryAfterSeconds()))
+		httpError(w, http.StatusGatewayTimeout, "request deadline (%s) exceeded", s.cfg.RequestTimeout)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// Client went away; there is nobody to answer. The instrument
+		// wrapper records this as code 499.
+	default:
+		httpError(w, http.StatusInternalServerError, "optimize: %v", err)
+	}
 }
 
 // handleBatch evaluates a grid. With ?stream=1 (or an Accept header
@@ -268,10 +504,15 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // and progress is streamed as server-sent events; closing the
 // connection cancels the remaining points. Otherwise the batch becomes
 // a job: the response is 202 with a job id to poll at /v1/jobs/{id}.
+// Both paths draw on the admission budget — the job path reserves its
+// place synchronously, so a full queue answers 429 at submit time, not
+// as a failed job later.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	points, err := req.expand()
@@ -279,13 +520,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(points) > s.maxPoints {
-		httpError(w, http.StatusBadRequest, "batch of %d points exceeds the server cap of %d", len(points), s.maxPoints)
+	if len(points) > s.cfg.MaxPoints {
+		httpError(w, http.StatusBadRequest, "batch of %d points exceeds the server cap of %d", len(points), s.cfg.MaxPoints)
 		return
 	}
 	parallel := req.Parallelism
-	if parallel <= 0 || parallel > s.maxParallel {
-		parallel = s.maxParallel
+	if parallel <= 0 || parallel > s.cfg.MaxParallel {
+		parallel = s.cfg.MaxParallel
 	}
 
 	if r.URL.Query().Get("stream") == "1" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
@@ -293,7 +534,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Asynchronous job path.
+	// Asynchronous job path: claim budget now (429 on a full queue),
+	// convert the claim to an execution slot inside the job goroutine.
+	resv, err := s.adm.reserve()
+	if err != nil {
+		s.rejectQueueFull(w)
+		return
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{cancel: cancel, total: len(points), finished: make(chan struct{})}
 	s.mu.Lock()
@@ -307,6 +555,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer s.jobWG.Done()
 		defer cancel()
+		release, err := resv.wait(ctx)
+		if err != nil {
+			j.err = err
+			s.met.jobsFailed.Add(1)
+			close(j.finished)
+			return
+		}
+		defer release()
 		results, err := s.batcher.OptimizeBatch(points, magicstate.BatchOptions{
 			Parallelism: parallel,
 			Context:     ctx,
@@ -314,13 +570,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			j.err = err
-			s.jobsFailed.Add(1)
+			s.met.jobsFailed.Add(1)
 		} else {
 			j.results = make([]resultJSON, len(results))
 			for i, res := range results {
 				j.results[i] = resultToJSON(res)
 			}
-			s.jobsDone.Add(1)
+			s.met.jobsCompleted.Add(1)
 		}
 		close(j.finished)
 	}()
@@ -335,14 +591,44 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // streamBatch runs points inside the request and reports progress as
 // SSE frames: "progress" events with done/total counts, then one
 // "done" event carrying the full result array (or "error" with the
-// failure). The request context cancels evaluation between points when
-// the client goes away.
+// failure). The request context cancels evaluation when the client
+// goes away; a drain cancels it server-side, and either way the stream
+// always ends with a terminal frame when the connection is writable —
+// an SSE stream is never silently dropped by the server.
 func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, points []magicstate.BatchPoint, parallel int) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// Register with the drain set so shutdown can end this stream with
+	// a terminal frame instead of waiting out the whole batch.
+	s.mu.Lock()
+	s.nextStream++
+	streamID := s.nextStream
+	s.streamCancels[streamID] = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.streamCancels, streamID)
+		s.mu.Unlock()
+	}()
+
+	// The stream occupies an execution slot like any other compute; a
+	// full queue rejects before any SSE bytes are written.
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.rejectQueueFull(w)
+		}
+		// A dead client needs no response; instrument records 499.
+		return
+	}
+	defer release()
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -359,7 +645,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, points []ma
 		defer close(frames)
 		results, err := s.batcher.OptimizeBatch(points, magicstate.BatchOptions{
 			Parallelism: parallel,
-			Context:     r.Context(),
+			Context:     ctx,
 			Progress: func(done, total int) {
 				// Never block the worker pool on the client: progress
 				// frames are advisory, so when the client reads slower
@@ -484,23 +770,16 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"job_id": j.id, "status": "cancelling"})
 }
 
-// handleStats reports cache-tier and job counters: the operational view
-// of "compute each point once, ever".
+// handleStats reports the operational counters as JSON. Every number
+// here is read from the same sources the /metrics endpoint scrapes —
+// the metrics registry and the subsystems it borrows gauges from — so
+// the two views cannot drift.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.batcher.Stats()
-	s.mu.Lock()
-	inFlight := 0
-	for _, j := range s.jobs {
-		select {
-		case <-j.finished:
-		default:
-			inFlight++
-		}
-	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": int64(time.Since(s.started).Seconds()),
-		"max_parallel":   s.maxParallel,
+		"uptime_seconds": int64(time.Since(s.met.started).Seconds()),
+		"max_parallel":   s.cfg.MaxParallel,
+		"draining":       s.draining.Load(),
 		"cache": map[string]any{
 			"memory_hits":    cs.MemoryHits,
 			"memory_misses":  cs.MemoryMisses,
@@ -510,9 +789,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"checkpoint_dir": cs.CheckpointDir,
 		},
 		"jobs": map[string]any{
-			"in_flight": inFlight,
-			"completed": s.jobsDone.Load(),
-			"failed":    s.jobsFailed.Load(),
+			"in_flight": s.jobsInFlight(),
+			"completed": s.met.jobsCompleted.Load(),
+			"failed":    s.met.jobsFailed.Load(),
+		},
+		"admission": map[string]any{
+			"max_inflight":   s.adm.maxInflight,
+			"max_queue":      s.adm.maxQueue,
+			"inflight":       s.adm.inflight.Load(),
+			"queue_depth":    s.adm.queued.Load(),
+			"queue_rejected": s.adm.rejected.Load(),
+			"rate_limited":   s.rl.limited.Load(),
+		},
+		"singleflight": map[string]any{
+			"leaders":   s.flights.leaders.Load(),
+			"shared":    s.flights.shared.Load(),
+			"in_flight": s.flights.size(),
+		},
+		"requests": s.met.requestCounts(),
+		"latency_seconds": map[string]any{
+			"p50": s.met.latency.quantile(0.50),
+			"p99": s.met.latency.quantile(0.99),
 		},
 	})
 }

@@ -25,7 +25,7 @@ func newTestServer(t *testing.T, dir string) (*httptest.Server, *magicstate.Batc
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { b.Close() })
-	srv := newServer(b, 2, 64)
+	srv := newServer(b, serverConfig{MaxParallel: 2, MaxPoints: 64, MaxInflight: 4, MaxQueue: 64})
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, b

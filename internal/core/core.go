@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -114,7 +115,18 @@ type Report struct {
 }
 
 // Run executes the full pipeline for cfg.
-func Run(cfg Config) (*Report, error) {
+func Run(cfg Config) (*Report, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext is Run with cooperative cancellation: ctx is checked at
+// every stage boundary (factory build, placement, simulation), so work
+// abandoned by its caller — a vanished HTTP client, an expired request
+// deadline — stops costing compute at the next boundary instead of
+// running to completion. Cancellation returns ctx.Err(); partial work
+// is discarded, never reported.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	params := bravyi.Params{K: cfg.K, Levels: cfg.Levels, Reuse: cfg.Reuse, Barriers: !cfg.NoBarriers}
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -148,6 +160,9 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// place may already have simulated the winning candidate (the
 		// force-directed mapper evaluates candidates in simulation); a
 		// non-nil sim is reused instead of being recomputed below.
@@ -157,6 +172,14 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	// Placement (stitching included) is the dominant cost for annealed
+	// strategies, and the force-directed path arrives here with sim
+	// already in hand — so this boundary, not just the pre-simulation
+	// one, must notice an abandoned caller or the wasted result would
+	// still be reported (and cached by callers above).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if sim == nil {
 		var err error
 		sim, err = mesh.Simulate(f.Circuit, pl, mcfg)

@@ -1,0 +1,235 @@
+// Package httpclient is a small retrying HTTP client for talking to
+// overload-aware services like cmd/msfud. The server side of this
+// repo's robustness story sheds load with 429/503 + Retry-After; this
+// package is the client side: it honors Retry-After when the server
+// names a wait, falls back to jittered exponential backoff when it
+// does not, replays request bodies across attempts, and gives up
+// cleanly when a context ends. The load generator (cmd/msfuload) is
+// its first consumer — a saturating workload only completes because
+// rejected requests come back instead of being dropped.
+//
+// The zero Client is usable: defaults are five attempts, 100ms base
+// delay doubling to a 5s cap, ±50% jitter.
+package httpclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a retrying HTTP client. Fields may be set before first use;
+// the zero value uses the defaults documented on each field. A Client
+// is safe for concurrent use once configured.
+type Client struct {
+	// HTTP is the underlying transport client (default
+	// http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds total tries, first attempt included
+	// (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms): attempt
+	// n waits BaseDelay * 2^(n-1), jittered ±50%, capped at MaxDelay —
+	// unless the response named a Retry-After, which is honored exactly.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait (default 5s). Retry-After
+	// values above the cap are honored anyway: the server knows.
+	MaxDelay time.Duration
+
+	// Sleep waits for d or until ctx ends (default: timer + ctx).
+	// Tests substitute a recording fake to make retry schedules
+	// assertable without wall-clock time.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand yields the jitter source in [0, 1) (default math/rand).
+	Rand func() float64
+}
+
+// retryable reports whether a status code is worth another attempt:
+// explicit pushback (429, 503), transient gateway trouble (502, 504).
+// Everything else — including other 5xx — is returned to the caller,
+// who knows whether the operation is safe to repeat.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 5
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff computes the jittered exponential delay for attempt (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseDelay() << (attempt - 1)
+	if d > c.maxDelay() || d <= 0 { // <= 0 guards shift overflow
+		d = c.maxDelay()
+	}
+	r := rand.Float64
+	if c.Rand != nil {
+		r = c.Rand
+	}
+	// ±50% jitter: spread synchronized clients apart instead of letting
+	// them re-arrive (and re-collide) in lockstep.
+	return time.Duration(float64(d) * (0.5 + r()))
+}
+
+// ParseRetryAfter interprets a Retry-After header value — either
+// delay-seconds or an HTTP-date — as a wait from now. ok is false for
+// absent or unparsable values.
+func ParseRetryAfter(v string, now time.Time) (d time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true // date in the past: retry immediately
+	}
+	return 0, false
+}
+
+// Do sends req, retrying retryable failures (429/502/503/504 and
+// transport errors) up to MaxAttempts times. The final response is
+// returned whatever its status — callers still check StatusCode; Do
+// only decides whether another attempt is worthwhile. Requests with a
+// body must have GetBody set (http.NewRequest does this for common
+// body types) or the first failure is returned as-is, since the body
+// cannot be replayed.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	var lastResp *http.Response
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 && req.Body != nil {
+			if req.GetBody == nil {
+				break // cannot replay; surface the previous outcome
+			}
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("httpclient: replaying request body: %w", err)
+			}
+			req.Body = body
+		}
+		resp, err := c.httpClient().Do(req)
+		lastResp, lastErr = resp, err
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		if attempt >= c.maxAttempts() {
+			break
+		}
+		delay := c.backoff(attempt)
+		if err == nil {
+			// The response is replaced by the next attempt: release its
+			// connection, and prefer the server's own wait estimate to
+			// the blind backoff.
+			if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				delay = ra
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+	return lastResp, lastErr
+}
+
+// PostJSON marshals in, POSTs it to url and decodes a 2xx response body
+// into out (when out is non-nil). The status code is returned for any
+// HTTP outcome, 0 with an error for transport failures. Non-2xx bodies
+// are drained and discarded — the status is the caller's signal.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) (int, error) {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, out)
+}
+
+// GetJSON GETs url and decodes a 2xx response body into out (when out
+// is non-nil), with the same contract as PostJSON.
+func (c *Client) GetJSON(ctx context.Context, url string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	return c.doJSON(req, out)
+}
+
+func (c *Client) doJSON(req *http.Request, out any) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("httpclient: decoding %s: %w", req.URL, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

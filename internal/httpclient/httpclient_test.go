@@ -1,0 +1,204 @@
+package httpclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested delays instead of waiting.
+type fakeSleep struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return ctx.Err()
+}
+
+// fixedRand pins the jitter factor so backoff delays are exact. 0.5
+// maps the ±50% jitter to exactly 1.0x.
+func fixedRand() float64 { return 0.5 }
+
+func TestRetryAfterIsHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			io.WriteString(w, `{"ok": true}`)
+		}
+	}))
+	defer ts.Close()
+
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.GetJSON(context.Background(), ts.URL, &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("GetJSON = %d, %v, %+v", status, err, out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	want := []time.Duration{2 * time.Second, time.Second}
+	if len(fs.delays) != len(want) || fs.delays[0] != want[0] || fs.delays[1] != want[1] {
+		t.Fatalf("slept %v, want %v (Retry-After must override backoff)", fs.delays, want)
+	}
+}
+
+func TestExponentialBackoffWithoutRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 4 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, `{}`)
+	}))
+	defer ts.Close()
+
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond}
+	status, err := c.GetJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("GetJSON = %d, %v", status, err)
+	}
+	// 10ms, 20ms, then capped at 25ms (jitter factor pinned to 1.0).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(fs.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", fs.delays, want)
+	}
+	for i := range want {
+		if fs.delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, fs.delays[i], want[i])
+		}
+	}
+}
+
+func TestBodyIsReplayedAcrossAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"x":1}` {
+			t.Errorf("attempt %d body = %q", calls.Load()+1, body)
+		}
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, `{}`)
+	}))
+	defer ts.Close()
+
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand}
+	status, err := c.PostJSON(context.Background(), ts.URL, map[string]int{"x": 1}, nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("PostJSON = %d, %v", status, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand, MaxAttempts: 3}
+	status, err := c.GetJSON(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want the final 429 surfaced", status)
+	}
+	if calls.Load() != 3 || len(fs.delays) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d; want 3 and 2", calls.Load(), len(fs.delays))
+	}
+}
+
+func TestNonRetryableReturnsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand}
+	status, err := c.GetJSON(context.Background(), ts.URL, nil)
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("GetJSON = %d, %v; want 400, nil", status, err)
+	}
+	if calls.Load() != 1 || len(fs.delays) != 0 {
+		t.Fatalf("400 was retried: calls = %d, sleeps = %d", calls.Load(), len(fs.delays))
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{Rand: fixedRand, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel() // the context ends mid-wait
+		return ctx.Err()
+	}}
+	if _, err := c.GetJSON(ctx, ts.URL, nil); err == nil {
+		t.Fatal("cancelled retry loop returned no error")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	if d, ok := ParseRetryAfter("7", now); !ok || d != 7*time.Second {
+		t.Fatalf("seconds form = %v, %v", d, ok)
+	}
+	date := now.Add(90 * time.Second).Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(date, now); !ok || d != 90*time.Second {
+		t.Fatalf("date form = %v, %v", d, ok)
+	}
+	if d, ok := ParseRetryAfter(now.Add(-time.Hour).Format(http.TimeFormat), now); !ok || d != 0 {
+		t.Fatalf("past date = %v, %v; want 0, true", d, ok)
+	}
+	for _, bad := range []string{"", "soon", "-3"} {
+		if _, ok := ParseRetryAfter(bad, now); ok {
+			t.Errorf("ParseRetryAfter(%q) ok", bad)
+		}
+	}
+}
+
+func TestDoReturnsTransportErrorAfterRetries(t *testing.T) {
+	fs := &fakeSleep{}
+	c := &Client{Sleep: fs.sleep, Rand: fixedRand, MaxAttempts: 2}
+	req, _ := http.NewRequest(http.MethodGet, "http://127.0.0.1:1/unreachable", nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("unreachable host returned no error")
+	}
+	if len(fs.delays) != 1 {
+		t.Fatalf("transport errors slept %d times, want 1", len(fs.delays))
+	}
+	if !strings.Contains("connection refused", "refused") {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"magicstate/internal/core"
+)
+
+// fillFaulty puts n records, tolerating injected Put failures, and
+// returns the keys alongside the index of the first Put that failed
+// (-1 when all landed). Keys match fill's so tests can cross-check.
+func fillFaulty(t *testing.T, s *Store, n int) (keys []Key, firstFail int) {
+	t.Helper()
+	firstFail = -1
+	keys = make([]Key, n)
+	for i := 0; i < n; i++ {
+		keys[i] = KeyOf(core.Config{K: 2 + i, Levels: 1, Seed: int64(i)})
+		payload := []byte(fmt.Sprintf(`{"record":%d,"pad":%q}`, i, bytes.Repeat([]byte{'x'}, i%17)))
+		err := s.Put(keys[i], payload)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("Put %d failed with a non-injected error: %v", i, err)
+			}
+			if firstFail < 0 {
+				firstFail = i
+			}
+		}
+	}
+	return keys, firstFail
+}
+
+// TestFaultPlanParse pins the spec grammar the msfud -fault-store flag
+// accepts.
+func TestFaultPlanParse(t *testing.T) {
+	p, err := ParseFaultPlan("failwrite=7,shortwrite=19,failsync=3,stall=10:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FailWriteOp != 7 || p.ShortWriteOp != 19 || p.FailSyncOp != 3 ||
+		p.StallEveryOp != 10 || p.Stall != 2*time.Millisecond {
+		t.Fatalf("parsed failwrite=%d shortwrite=%d failsync=%d stall=%d:%v",
+			p.FailWriteOp, p.ShortWriteOp, p.FailSyncOp, p.StallEveryOp, p.Stall)
+	}
+	if p, err := ParseFaultPlan(""); err != nil ||
+		p.FailWriteOp != 0 || p.ShortWriteOp != 0 || p.FailSyncOp != 0 || p.StallEveryOp != 0 || p.Stall != 0 {
+		t.Fatalf("empty spec = %v, %v; want zero plan", p, err)
+	}
+	for _, bad := range []string{"failwrite", "failwrite=x", "stall=2ms", "stall=0:2ms", "bogus=1"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestFaultInjectedWriteIsConfined is the injected-fault extension of
+// the byte-truncation property tests: for every write operation n, a
+// store whose nth write fails (outright or torn) must (a) surface
+// ErrInjected from exactly one Put, (b) keep serving and accepting
+// records afterwards — the failed Put rolled both files back to a
+// record boundary — and (c) reopen to exactly the records whose Puts
+// reported success. Each record costs two writes (payload, index
+// entry), so sweeping n over 2*records+1 hits every boundary: payload
+// write, index write, and the no-fault control past the end.
+func TestFaultInjectedWriteIsConfined(t *testing.T) {
+	const n = 10
+	for _, mode := range []string{"failwrite", "shortwrite"} {
+		for op := 1; op <= 2*n+1; op++ {
+			t.Run(fmt.Sprintf("%s_op%d", mode, op), func(t *testing.T) {
+				dir := t.TempDir()
+				plan, err := ParseFaultPlan(fmt.Sprintf("%s=%d", mode, op))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := OpenWithFaults(dir, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys, firstFail := fillFaulty(t, s, n)
+				wantFail := -1
+				if op <= 2*n {
+					wantFail = (op - 1) / 2 // record whose payload or index write was op
+				}
+				if firstFail != wantFail {
+					t.Fatalf("Put %d failed, want %d", firstFail, wantFail)
+				}
+				// Exactly the non-failed records are live, in memory and on
+				// a clean reopen (rollback must leave aligned files).
+				wantLive := n
+				if wantFail >= 0 {
+					wantLive = n - 1
+				}
+				if got := s.Len(); got != wantLive {
+					t.Fatalf("live records = %d, want %d", got, wantLive)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				rs, err := Open(dir)
+				if err != nil {
+					t.Fatalf("reopen after injected fault: %v", err)
+				}
+				defer rs.Close()
+				if got := rs.Len(); got != wantLive {
+					t.Fatalf("recovered %d records, want %d", got, wantLive)
+				}
+				for i, k := range keys {
+					_, ok := rs.Get(k)
+					if want := i != wantFail; ok != want {
+						t.Fatalf("record %d present = %v, want %v", i, ok, want)
+					}
+				}
+				// The recovered store accepts appends again.
+				if err := rs.Put(KeyOf(core.Config{K: 5000 + op}), []byte(`{"resumed":true}`)); err != nil {
+					t.Fatalf("Put after recovery: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultTornWriteThenCrash composes injected mid-op faults with the
+// byte-truncation property: a torn index write whose rollback never ran
+// (the process died mid-Put) must still recover to the longest valid
+// prefix at every subsequent truncation point. The torn state is
+// manufactured by copying the files the instant the short write lands,
+// before Put's rollback truncates them.
+func TestFaultTornWriteThenCrash(t *testing.T) {
+	const n = 6
+	// Op 2*k writes record k's index entry short (ops are 1-based:
+	// record k costs ops 2k+1 and 2k+2, so op 2k+2 is its index write).
+	for rec := 1; rec < n; rec++ {
+		op := 2*rec + 2
+		dir := t.TempDir()
+		plan := &FaultPlan{ShortWriteOp: int64(op)}
+		s, err := OpenWithFaults(dir, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]Key, n)
+		var tornLog, tornIdx []byte
+		for i := 0; i < n; i++ {
+			keys[i] = KeyOf(core.Config{K: 2 + i, Levels: 1, Seed: int64(i)})
+			err := s.Put(keys[i], []byte(fmt.Sprintf(`{"record":%d}`, i)))
+			if i == rec {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("rec %d: Put %d = %v, want injected fault", rec, i, err)
+				}
+				// Snapshot the torn on-disk state before this loop's next
+				// Put appends past the rollback point. Put already rolled
+				// back, so re-tear: append half an index entry to simulate
+				// the crash-before-rollback image.
+				tornLog, _ = os.ReadFile(filepath.Join(dir, logName))
+				tornIdx, _ = os.ReadFile(filepath.Join(dir, idxName))
+				tornLog = append(tornLog, []byte(fmt.Sprintf(`{"record":%d}`, i))...)
+				tornIdx = append(tornIdx, bytes.Repeat([]byte{0xAB}, entrySize/2)...)
+			} else if err != nil {
+				t.Fatalf("rec %d: Put %d: %v", rec, i, err)
+			}
+		}
+		s.Close()
+
+		// Replay the torn image at every index truncation point.
+		for cut := 0; cut <= len(tornIdx); cut++ {
+			cdir := filepath.Join(dir, fmt.Sprintf("cut%d", cut))
+			os.MkdirAll(cdir, 0o755)
+			os.WriteFile(filepath.Join(cdir, logName), tornLog, 0o644)
+			os.WriteFile(filepath.Join(cdir, idxName), tornIdx[:cut], 0o644)
+			want := cut / entrySize
+			if want > rec {
+				want = rec // entries at and past the torn record never validate
+			}
+			rs, err := Open(cdir)
+			if err != nil {
+				t.Fatalf("rec %d cut %d: Open: %v", rec, cut, err)
+			}
+			if got := rs.Len(); got != want {
+				t.Fatalf("rec %d cut %d: recovered %d records, want %d", rec, cut, got, want)
+			}
+			for i := 0; i < want; i++ {
+				if _, ok := rs.Get(keys[i]); !ok {
+					t.Fatalf("rec %d cut %d: surviving record %d missing", rec, cut, i)
+				}
+			}
+			rs.Close()
+			os.RemoveAll(cdir)
+		}
+	}
+}
+
+// TestFaultSyncErrorSurfacesButPreservesRecords: an injected fsync
+// failure must be reported to the caller (Sync and Close propagate it)
+// without costing any committed record.
+func TestFaultSyncErrorSurfacesButPreservesRecords(t *testing.T) {
+	dir := t.TempDir()
+	plan := &FaultPlan{FailSyncOp: 1}
+	s, err := OpenWithFaults(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := fillFaulty(t, s, 5)
+	if err := s.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync = %v, want injected fault", err)
+	}
+	// The next sync (op 2) passes; Close must succeed and the records
+	// must all be there on reopen.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after failed sync: %v", err)
+	}
+	rs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if got := rs.Len(); got != 5 {
+		t.Fatalf("recovered %d records, want 5", got)
+	}
+	for i, k := range keys {
+		if _, ok := rs.Get(k); !ok {
+			t.Fatalf("record %d missing after sync fault", i)
+		}
+	}
+}
+
+// TestFaultStallKeepsStoreCorrect: stalled writes change timing only —
+// every record still lands and survives reopen.
+func TestFaultStallKeepsStoreCorrect(t *testing.T) {
+	dir := t.TempDir()
+	plan := &FaultPlan{StallEveryOp: 3, Stall: time.Millisecond}
+	s, err := OpenWithFaults(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, firstFail := fillFaulty(t, s, 8)
+	if firstFail != -1 {
+		t.Fatalf("stall plan failed Put %d", firstFail)
+	}
+	s.Close()
+	rs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	for i, k := range keys {
+		if _, ok := rs.Get(k); !ok {
+			t.Fatalf("record %d missing", i)
+		}
+	}
+}

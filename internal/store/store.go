@@ -39,6 +39,18 @@ type Stats struct {
 	LogBytes int64
 }
 
+// storeFile is the slice of *os.File the store drives. Production opens
+// real files; fault-injection tests and soak harnesses wrap them in a
+// faultFile that fails, stalls or tears writes on demand (see fault.go).
+type storeFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // Store is a durable, append-only map from Key to an opaque payload,
 // with crash-safe recovery (see the package comment for the file format
 // and recovery rules). All records are held in memory once opened —
@@ -49,8 +61,8 @@ type Store struct {
 	mu     sync.Mutex
 	dir    string
 	absDir string
-	logF   *os.File
-	idxF   *os.File
+	logF   storeFile
+	idxF   storeFile
 	mem    map[Key][]byte
 	logLen int64
 	idxLen int64
@@ -75,7 +87,18 @@ var openDirs = struct {
 // out-of-range log extent, or points at a payload that fails its CRC;
 // both files are truncated back to the validated prefix so subsequent
 // appends continue from a clean end of log.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return open(dir, nil) }
+
+// OpenWithFaults is Open with deliberate fault injection: every file
+// operation the store issues flows through plan, which can fail, stall
+// or tear writes and fail syncs on schedule. It exists to exercise the
+// recovery path on purpose — the msfud soak harness runs its store this
+// way — and has no place in production use. A nil plan is plain Open.
+func OpenWithFaults(dir string, plan *FaultPlan) (*Store, error) { return open(dir, plan) }
+
+// open opens (creating if needed) the store in dir, wrapping its files
+// in plan's fault injectors when plan is non-nil.
+func open(dir string, plan *FaultPlan) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -95,16 +118,20 @@ func Open(dir string) (*Store, error) {
 		delete(openDirs.dirs, absDir)
 		openDirs.mu.Unlock()
 	}
-	logF, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	rawLog, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		release()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	idxF, err := os.OpenFile(filepath.Join(dir, idxName), os.O_CREATE|os.O_RDWR, 0o644)
+	rawIdx, err := os.OpenFile(filepath.Join(dir, idxName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		logF.Close()
+		rawLog.Close()
 		release()
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	var logF, idxF storeFile = rawLog, rawIdx
+	if plan != nil {
+		logF, idxF = plan.wrap(rawLog), plan.wrap(rawIdx)
 	}
 	s := &Store{dir: dir, absDir: absDir, logF: logF, idxF: idxF, mem: make(map[Key][]byte)}
 	if err := s.recover(); err != nil {

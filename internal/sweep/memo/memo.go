@@ -11,15 +11,21 @@
 // import cycle.
 package memo
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
 
 // entry is one cached computation. The sync.Once gives singleflight
 // semantics: the first caller runs fn, concurrent callers for the same
 // key block until the value is ready, later callers read it for free.
 type entry struct {
-	once sync.Once
-	val  any
-	err  error
+	once  sync.Once
+	ready atomic.Bool // set after once ran; gates Peek
+	val   any
+	err   error
 }
 
 // Cache memoizes computations by comparable key. The zero value is not
@@ -49,7 +55,10 @@ func New(limit int) *Cache {
 
 // Do returns the memoized result for key, running fn exactly once per
 // key (per cache generation). fn's error is cached too: deterministic
-// failures are as stable as deterministic successes.
+// failures are as stable as deterministic successes. The one exception
+// is context cancellation — a fn that fails with context.Canceled or
+// context.DeadlineExceeded reflects its first caller's deadline, not
+// the key, so the entry is dropped and the next caller recomputes.
 func (c *Cache) Do(key any, fn func() (any, error)) (any, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -65,8 +74,35 @@ func (c *Cache) Do(key any, fn func() (any, error)) (any, error) {
 	}
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.val, e.err = fn() })
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		e.ready.Store(true)
+	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		c.mu.Lock()
+		// Only this generation's entry is dropped; a concurrent Reset or
+		// a fresh recompute under the same key must not be clobbered.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.val, e.err
+}
+
+// Peek returns the memoized result for key only if a computation has
+// already completed, without ever running (or waiting for) one. It is
+// the cache-hit fast path for callers that must not block — the msfud
+// service answers cached points even when its admission queue is full.
+// Peek leaves the hit/miss counters untouched.
+func (c *Cache) Peek(key any) (val any, err error, ok bool) {
+	c.mu.Lock()
+	e, present := c.entries[key]
+	c.mu.Unlock()
+	if !present || !e.ready.Load() {
+		return nil, nil, false
+	}
+	return e.val, e.err, true
 }
 
 // Stats reports how many Do calls found an existing entry (hits) versus

@@ -1,7 +1,9 @@
 package memo
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -90,5 +92,69 @@ func TestReset(t *testing.T) {
 	c.Reset()
 	if c.Len() != 0 {
 		t.Fatalf("len after reset = %d", c.Len())
+	}
+}
+
+// TestDoDropsContextErrors: a computation that fails with a context
+// error must not poison the cache — context errors describe the caller
+// that asked, not the point itself, so the next caller recomputes.
+func TestDoDropsContextErrors(t *testing.T) {
+	c := New(0)
+	for _, ctxErr := range []error{context.Canceled, context.DeadlineExceeded} {
+		calls := 0
+		if _, err := c.Do("k", func() (any, error) { calls++; return nil, ctxErr }); !errors.Is(err, ctxErr) {
+			t.Fatalf("Do = %v, want %v", err, ctxErr)
+		}
+		v, err := c.Do("k", func() (any, error) { calls++; return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do after %v = %v, %v; want 42", ctxErr, v, err)
+		}
+		if calls != 2 {
+			t.Fatalf("calls = %d, want 2 (the %v entry must have been dropped)", calls, ctxErr)
+		}
+		c.Reset()
+	}
+	// A wrapped context error is still a context error.
+	wrapped := fmt.Errorf("stage 3: %w", context.Canceled)
+	c.Do("w", func() (any, error) { return nil, wrapped })
+	recomputed := false
+	c.Do("w", func() (any, error) { recomputed = true; return 1, nil })
+	if !recomputed {
+		t.Fatal("wrapped context error was cached")
+	}
+}
+
+// TestPeek: Peek answers only completed entries — never starting a
+// computation, never waiting on one in flight, never counting as a hit
+// or miss.
+func TestPeek(t *testing.T) {
+	c := New(0)
+	if _, _, ok := c.Peek("absent"); ok {
+		t.Fatal("Peek invented an entry")
+	}
+	// An in-flight entry is invisible to Peek.
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	go c.Do("slow", func() (any, error) { close(started); <-unblock; return 1, nil })
+	<-started
+	if _, _, ok := c.Peek("slow"); ok {
+		t.Fatal("Peek returned an in-flight entry")
+	}
+	close(unblock)
+
+	c.Do("done", func() (any, error) { return 7, nil })
+	hits0, misses0 := c.Stats()
+	v, err, ok := c.Peek("done")
+	if !ok || err != nil || v.(int) != 7 {
+		t.Fatalf("Peek(done) = %v, %v, %v; want 7, nil, true", v, err, ok)
+	}
+	if hits, misses := c.Stats(); hits != hits0 || misses != misses0 {
+		t.Fatal("Peek moved the hit/miss counters")
+	}
+	// Cached plain errors are peekable too (the caller decides).
+	boom := errors.New("boom")
+	c.Do("bad", func() (any, error) { return nil, boom })
+	if _, err, ok := c.Peek("bad"); !ok || !errors.Is(err, boom) {
+		t.Fatalf("Peek(bad) = %v, %v; want boom, true", err, ok)
 	}
 }

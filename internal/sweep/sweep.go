@@ -117,6 +117,20 @@ func (e *Engine) Run(ctx context.Context, cfgs []core.Config) ([]*core.Report, e
 // still share the cache: call RunOne from inside a Map function instead
 // of core.Run.
 func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
+	return e.RunOneContext(context.Background(), cfg)
+}
+
+// RunOneContext is RunOne with cooperative cancellation: ctx reaches
+// core.RunContext, which checks it at pipeline stage boundaries, so a
+// caller that goes away stops costing compute. When concurrent callers
+// share one computation through the memo, the context that counts is
+// the first caller's — a cancellation is returned to every waiter but
+// never cached (the memo drops context errors), so the next request
+// for the point recomputes instead of inheriting a dead caller's fate.
+// Long-running services wanting N callers to keep a shared computation
+// alive until the last one leaves should pass a context with that
+// lifetime (see cmd/msfud's in-flight table).
+func (e *Engine) RunOneContext(ctx context.Context, cfg core.Config) (*core.Report, error) {
 	v, err := e.cache.Do(cfg, func() (any, error) {
 		if e.store != nil {
 			if rep, ok := e.store.LookupReport(cfg); ok {
@@ -124,7 +138,7 @@ func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
 				return rep, nil
 			}
 		}
-		rep, err := core.Run(cfg)
+		rep, err := core.RunContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +154,26 @@ func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
 		return nil, err
 	}
 	return v.(*core.Report), nil
+}
+
+// PeekOne answers cfg from the cache tier without ever computing (or
+// waiting on an in-flight computation): a completed in-memory memo
+// entry first, the durable store second. It is the admission-free fast
+// path for overloaded services — a point already paid for is served
+// even when no compute budget remains.
+func (e *Engine) PeekOne(cfg core.Config) (*core.Report, bool) {
+	if v, err, ok := e.cache.Peek(cfg); ok && err == nil {
+		if rep, isRep := v.(*core.Report); isRep {
+			return rep, true
+		}
+	}
+	if e.store != nil {
+		if rep, ok := e.store.LookupReport(cfg); ok {
+			e.diskHits.Add(1)
+			return rep, true
+		}
+	}
+	return nil, false
 }
 
 // tick reports one completed point.

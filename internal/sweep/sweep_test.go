@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"magicstate/internal/core"
+	"magicstate/internal/store"
 )
 
 func grid() []core.Config {
@@ -184,5 +185,72 @@ func TestRunSurfacesPipelineError(t *testing.T) {
 		if err == nil {
 			t.Fatalf("workers=%d: invalid config should fail", workers)
 		}
+	}
+}
+
+// TestRunOneContextCancelDoesNotPoison: a cancelled computation must
+// return the context error without caching it — the same point asked
+// again by a live caller computes and succeeds.
+func TestRunOneContextCancelDoesNotPoison(t *testing.T) {
+	e := New(Options{Workers: 1})
+	cfg := core.Config{K: 4, Levels: 1, Strategy: core.StrategyLinear, Seed: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunOneContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOneContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, ok := e.PeekOne(cfg); ok {
+		t.Fatal("cancelled computation was cached")
+	}
+	rep, err := e.RunOne(cfg)
+	if err != nil {
+		t.Fatalf("RunOne after cancelled attempt: %v", err)
+	}
+	if rep == nil || rep.Latency <= 0 {
+		t.Fatalf("recomputed report = %+v", rep)
+	}
+}
+
+// TestPeekOneTiers: PeekOne sees completed memo entries and durable
+// store records, and misses points that were never computed.
+func TestPeekOneTiers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 1, Store: st})
+	cfg := core.Config{K: 4, Levels: 1, Strategy: core.StrategyLinear, Seed: 9}
+
+	if _, ok := e.PeekOne(cfg); ok {
+		t.Fatal("PeekOne hit before any computation")
+	}
+	want, err := e.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.PeekOne(cfg); !ok || got != want {
+		t.Fatalf("PeekOne after RunOne = %v, %v", got, ok)
+	}
+	st.Close()
+
+	// A fresh process (new engine over the same directory) peeks the
+	// point from disk without computing.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e2 := New(Options{Workers: 1, Store: st2})
+	got, ok := e2.PeekOne(cfg)
+	if !ok {
+		t.Fatal("PeekOne missed the durable record")
+	}
+	if got.Latency != want.Latency || got.Area != want.Area {
+		t.Fatalf("disk peek = %+v, want %+v", got, want)
+	}
+	if e2.DiskHits() != 1 {
+		t.Fatalf("DiskHits = %d, want 1", e2.DiskHits())
 	}
 }
