@@ -6,6 +6,7 @@
 //
 //	msfu -capacity 16 -levels 2 -strategy hs -reuse [-seed N] [-estimate]
 //	msfu -capacity 4,16,36 -levels 2 -strategy line,hs -reuse -parallel 4
+//	msfu store verify [-repair] DIR
 //
 // Strategies: random, line, fd, gp, hs (default: hs for levels>=2, line
 // otherwise).
@@ -35,6 +36,11 @@ import (
 )
 
 func main() {
+	// Subcommands go before flag parsing: "msfu store ..." is offline
+	// store maintenance, everything else is the classic sweep CLI.
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		os.Exit(storeCmd(os.Args[2:]))
+	}
 	capacities := flag.String("capacity", "8", "distilled states per factory run (k^levels); comma-separated list sweeps a batch")
 	levels := flag.Int("levels", 1, "block-code recursion depth")
 	strategy := flag.String("strategy", "", "mapping strategy: random|line|fd|gp|hs, comma-separated list sweeps a batch (default: hs for levels>=2, line otherwise)")

@@ -1,0 +1,252 @@
+package main
+
+// Self-managed cluster mode: msfuload spawns and supervises its own
+// msfud processes (-exec PATH -cluster N), wires them into a fabric via
+// -node-id/-peers, and optionally runs a chaos loop that SIGKILLs a
+// random node on a schedule and restarts it after a down window. The
+// harness owns the full lifecycle: free ports are picked up front so
+// the -peers set can be announced to every node before any has started,
+// each node gets its own durable store directory, readiness is polled
+// on /v1/ping, and every node is restarted and health-checked before
+// the final verification pass — a soak must end on a whole cluster, or
+// the byte-identity check would only cover the survivors.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magicstate/internal/httpclient"
+)
+
+// managedNode is one msfud process the harness spawned and owns.
+type managedNode struct {
+	name string
+	addr string // host:port the node listens on
+	base string // http://host:port
+	dir  string // the node's durable store directory
+
+	mu  sync.Mutex
+	cmd *exec.Cmd // nil while the node is down
+}
+
+// managedCluster supervises the spawned node set.
+type managedCluster struct {
+	execPath  string
+	peersSpec string
+	faultPeer string
+	replicate bool
+	nodes     []*managedNode
+
+	kills atomic.Int64
+}
+
+// newManagedCluster plans an n-node cluster: ports, store directories
+// and the shared -peers membership string. Nothing is started yet.
+// Store directories live under storeRoot, created if needed.
+func newManagedCluster(execPath string, n int, storeRoot, faultPeer string, replicate bool) (*managedCluster, error) {
+	c := &managedCluster{execPath: execPath, faultPeer: faultPeer, replicate: replicate}
+	var peers []string
+	for i := 0; i < n; i++ {
+		addr, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("node%d", i)
+		dir := filepath.Join(storeRoot, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &managedNode{
+			name: name,
+			addr: addr,
+			base: "http://" + addr,
+			dir:  dir,
+		})
+		peers = append(peers, name+"=http://"+addr)
+	}
+	c.peersSpec = strings.Join(peers, ",")
+	return c, nil
+}
+
+// freePort asks the OS for a listenable address and releases it. The
+// port can in principle be stolen before msfud binds it, but the window
+// is tiny and the harness would fail loudly at readiness polling.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// bases returns every node's base URL, in node order.
+func (c *managedCluster) bases() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.base
+	}
+	return out
+}
+
+// start launches one node's msfud process. The node reopens its own
+// store directory, so a restart after SIGKILL recovers every record the
+// previous incarnation flushed.
+func (c *managedCluster) start(n *managedNode) error {
+	args := []string{
+		"-addr", n.addr,
+		"-store", n.dir,
+		"-node-id", n.name,
+		"-peers", c.peersSpec,
+		fmt.Sprintf("-replicate=%v", c.replicate),
+	}
+	if c.faultPeer != "" {
+		args = append(args, "-fault-peer", c.faultPeer)
+	}
+	cmd := exec.Command(c.execPath, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", n.name, err)
+	}
+	n.mu.Lock()
+	n.cmd = cmd
+	n.mu.Unlock()
+	return nil
+}
+
+// kill SIGKILLs one node and reaps it — no drain, no warning, the
+// failure mode the fabric's breakers and fallback exist for.
+func (c *managedCluster) kill(n *managedNode) {
+	n.mu.Lock()
+	cmd := n.cmd
+	n.cmd = nil
+	n.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	c.kills.Add(1)
+}
+
+// startAll boots every node and waits for the whole set to answer.
+func (c *managedCluster) startAll(timeout time.Duration) error {
+	for _, n := range c.nodes {
+		if err := c.start(n); err != nil {
+			return err
+		}
+	}
+	return c.awaitReady(timeout)
+}
+
+// ensureAllUp restarts any node that is currently down and waits for
+// the whole cluster to answer — the "restart everything before the
+// final verify" step.
+func (c *managedCluster) ensureAllUp(timeout time.Duration) error {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		down := n.cmd == nil
+		n.mu.Unlock()
+		if down {
+			if err := c.start(n); err != nil {
+				return err
+			}
+		}
+	}
+	return c.awaitReady(timeout)
+}
+
+// awaitReady polls every node's /v1/ping until it answers 200.
+func (c *managedCluster) awaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, n := range c.nodes {
+		for {
+			resp, err := http.Get(n.base + "/v1/ping")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %s (%s) not ready within %v", n.name, n.base, timeout)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// stopAll SIGKILLs every node. The harness is exiting; nothing gentler
+// is owed to processes it created.
+func (c *managedCluster) stopAll() {
+	for _, n := range c.nodes {
+		c.kill(n)
+	}
+}
+
+// runChaos kills a random node every killEvery, leaves it down for
+// downFor, restarts it, and repeats until ctx ends. The victim sequence
+// is derived from the workload seed, so a chaos soak is reproducible.
+func (c *managedCluster) runChaos(ctx context.Context, killEvery, downFor time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	t := time.NewTicker(killEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		n := c.nodes[rng.Intn(len(c.nodes))]
+		c.kill(n)
+		fmt.Printf("msfuload: chaos: SIGKILLed %s (%s)\n", n.name, n.addr)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(downFor):
+		}
+		if err := c.start(n); err != nil {
+			fmt.Fprintf(os.Stderr, "msfuload: chaos: restarting %s: %v\n", n.name, err)
+			return
+		}
+		fmt.Printf("msfuload: chaos: restarted %s\n", n.name)
+	}
+}
+
+// checkClusterView asserts, post-restart, that node 0's /v1/cluster
+// sees every member healthy — the cluster reassembled after the chaos.
+func (c *managedCluster) checkClusterView(client *httpclient.Client) error {
+	var view struct {
+		Nodes []struct {
+			Node  string `json:"node"`
+			Error string `json:"error"`
+		} `json:"nodes"`
+	}
+	status, err := client.GetJSON(context.Background(), c.nodes[0].base+"/v1/cluster", &view)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("GET /v1/cluster: status %d err %v", status, err)
+	}
+	if len(view.Nodes) != len(c.nodes) {
+		return fmt.Errorf("cluster view has %d nodes, want %d", len(view.Nodes), len(c.nodes))
+	}
+	for _, n := range view.Nodes {
+		if n.Error != "" {
+			return fmt.Errorf("node %s unhealthy after restart: %s", n.Node, n.Error)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The three breaker states: Closed passes traffic, Open skips the peer,
+// HalfOpen lets exactly one probe through to decide between the two.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for stats and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-peer circuit breaker. Consecutive failures open it;
+// an open breaker answers Allow()=false (callers skip the peer and fall
+// back to local compute immediately instead of waiting out timeouts);
+// after Cooldown one caller is admitted as a half-open probe, and that
+// probe's outcome closes or re-opens the circuit. Safe for concurrent
+// use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+
+	// Transition counters, exported to the metrics registry: how many
+	// times the breaker opened, re-closed, and admitted a half-open
+	// probe.
+	opened    atomic.Int64
+	closed    atomic.Int64
+	halfOpens atomic.Int64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (min 1) and admits a probe after cooldown. A nil now uses
+// time.Now; tests inject a fake clock to make transitions deterministic.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call to the peer may proceed. In the open
+// state it admits a single caller once the cooldown has elapsed,
+// transitioning to half-open; every other caller is refused until that
+// probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.halfOpens.Add(1)
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful call: the failure streak resets and an
+// open or half-open breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.closed.Add(1)
+	}
+}
+
+// Failure records a failed call: a half-open probe re-opens the breaker
+// immediately, and a closed breaker opens once the consecutive-failure
+// streak reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Already open (a straggler finished after the trip): the
+		// cooldown window restarts from the most recent failure.
+		b.openedAt = b.now()
+	}
+}
+
+// trip moves to the open state. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opened.Add(1)
+}
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

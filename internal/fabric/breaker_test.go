@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(3, time.Second, clk.now)
+	if !b.Allow() {
+		t.Fatal("fresh breaker refused")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("interleaved successes still tripped the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call immediately")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+}
+
+func TestBreakerProbeOutcomes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+
+	// Probe succeeds: breaker closes.
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Failure()
+	clk.advance(time.Second)
+	b.Allow()
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a call")
+	}
+
+	// Probe fails: breaker re-opens and the cooldown restarts.
+	b = NewBreaker(1, time.Second, clk.now)
+	b.Failure()
+	clk.advance(time.Second)
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call before a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker refused its next probe after cooldown")
+	}
+}
+
+func TestBreakerStragglerFailureRestartsCooldown(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Failure() // opens at t=0
+	clk.advance(900 * time.Millisecond)
+	b.Failure() // straggler at t=0.9s: cooldown restarts
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker probed 0.5s after the latest failure; cooldown should have restarted")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused probe a full cooldown after the latest failure")
+	}
+}
+
+func TestBreakerThresholdFloor(t *testing.T) {
+	b := NewBreaker(0, time.Second, nil)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold 0 should clamp to 1 (open on first failure)")
+	}
+}

@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"magicstate/internal/store"
+)
+
+// RecordEnvelope is the wire form of one store record crossing the
+// fabric, on both the read-through fetch path (GET /v1/record/{key})
+// and the replication path (PUT /v1/record/{key}). The payload travels
+// with its own SHA-256; the receiver re-hashes what actually arrived
+// and rejects any mismatch, so a record damaged on a peer's disk, in
+// its page cache, or on the wire is treated exactly like a missing one
+// — the fabric can lose records, never corrupt them.
+type RecordEnvelope struct {
+	// Key is the record's canonical config key, lowercase hex. The
+	// receiver checks it against the key it asked for (or the path it
+	// was PUT to), so a confused peer cannot file a record under the
+	// wrong point.
+	Key string `json:"key"`
+	// Payload is the raw record bytes (base64 in JSON transit).
+	Payload []byte `json:"payload"`
+	// SHA256 is the payload's digest, lowercase hex, computed by the
+	// sender before the bytes left its store.
+	SHA256 string `json:"sha256"`
+}
+
+// NewEnvelope wraps a record payload for the wire, stamping its digest.
+func NewEnvelope(k store.Key, payload []byte) RecordEnvelope {
+	sum := sha256.Sum256(payload)
+	return RecordEnvelope{Key: k.String(), Payload: payload, SHA256: hex.EncodeToString(sum[:])}
+}
+
+// Verify byte-verifies the envelope against the key the caller asked
+// for: the declared key must match, and the payload must re-hash to the
+// declared digest. It returns the verified payload, or an error that
+// callers treat as "the peer does not (usably) have this record".
+func (e RecordEnvelope) Verify(want store.Key) ([]byte, error) {
+	if e.Key != want.String() {
+		return nil, fmt.Errorf("fabric: envelope names key %s, want %s", e.Key, want)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.SHA256 {
+		return nil, fmt.Errorf("fabric: payload digest mismatch for %s (corrupt record rejected)", e.Key)
+	}
+	return e.Payload, nil
+}
+
+// EvalRequest is the body of POST /v1/fabric/eval: a full pipeline
+// configuration forwarded to its owning node for evaluation. Key is the
+// sender's canonical key for the config; the receiver re-derives the
+// key from the config and refuses on mismatch, which catches canonical-
+// encoding drift between nodes (version skew) before it can file a
+// result under the wrong address.
+type EvalRequest struct {
+	// Key is the sender's canonical key for Config, lowercase hex.
+	Key string `json:"key"`
+	// Config is the core.Config JSON encoding.
+	Config json.RawMessage `json:"config"`
+}

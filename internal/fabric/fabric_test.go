@@ -1,0 +1,383 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"magicstate/internal/httpclient"
+)
+
+// fastClient is a test client that fails fast and never sleeps for
+// real, so dead-peer paths don't stretch the test wall clock.
+func fastClient() *httpclient.Client {
+	return &httpclient.Client{
+		MaxAttempts: 1,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+	}
+}
+
+func newTestFabric(t *testing.T, self string, nodes []string, opts Options) *Fabric {
+	t.Helper()
+	opts.Self = self
+	opts.Nodes = nodes
+	if opts.Client == nil {
+		opts.Client = fastClient()
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRejectsForeignSelf(t *testing.T) {
+	if _, err := New(Options{Self: "ghost", Nodes: []string{"a", "b"}}); err == nil {
+		t.Fatal("self outside the node set accepted")
+	}
+}
+
+func TestFetchVerifiedHit(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n2")
+	payload := []byte(`{"latency":123}`)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/record/"+k.String() {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(NewEnvelope(k, payload))
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	got, ok := f.Fetch(context.Background(), k)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Fetch = %q, %t; want payload hit", got, ok)
+	}
+	s := f.Stats()
+	if s.Peers[0].FetchHits != 1 {
+		t.Fatalf("fetch hits = %d, want 1", s.Peers[0].FetchHits)
+	}
+}
+
+func TestFetchSelfOwnedIsLocal(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n1")
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("Fetch returned a record for a self-owned key with no peer call possible")
+	}
+}
+
+func TestFetchMissIsCleanSuccess(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n2")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("404 produced a record")
+	}
+	s := f.Stats()
+	if s.Peers[0].FetchMisses != 1 || s.Peers[0].FetchFailures != 0 {
+		t.Fatalf("misses=%d failures=%d, want 1/0", s.Peers[0].FetchMisses, s.Peers[0].FetchFailures)
+	}
+	if s.Peers[0].Breaker != "closed" {
+		t.Fatalf("breaker after clean miss = %s, want closed", s.Peers[0].Breaker)
+	}
+}
+
+func TestFetchRejectsCorruptPayload(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{BreakerThreshold: 1})
+	k := keyOwnedBy(t, f.ring, "n2")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env := NewEnvelope(k, []byte(`{"latency":123}`))
+		env.Payload[0] ^= 0xff // corrupt after the digest was stamped
+		json.NewEncoder(w).Encode(env)
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("corrupt payload accepted")
+	}
+	s := f.Stats()
+	if s.Peers[0].FetchRejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Peers[0].FetchRejected)
+	}
+	if s.Peers[0].Breaker != "open" {
+		t.Fatalf("breaker after corrupt response = %s, want open (threshold 1)", s.Peers[0].Breaker)
+	}
+}
+
+func TestFetchRejectsWrongKeyEcho(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n2")
+	other := keyOwnedBy(t, f.ring, "n1")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(NewEnvelope(other, []byte(`{"latency":9}`)))
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("envelope for the wrong key accepted")
+	}
+	if got := f.Stats().Peers[0].FetchRejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+func TestFetchDeadPeerOpensBreaker(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{BreakerThreshold: 2})
+	k := keyOwnedBy(t, f.ring, "n2")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // dead on arrival
+	f.SetURL("n2", srv.URL)
+
+	f.Fetch(context.Background(), k)
+	f.Fetch(context.Background(), k)
+	s := f.Stats()
+	if s.Peers[0].FetchFailures != 2 || s.Peers[0].Breaker != "open" {
+		t.Fatalf("failures=%d breaker=%s, want 2/open", s.Peers[0].FetchFailures, s.Peers[0].Breaker)
+	}
+	// With the breaker open, Fetch refuses without a network call.
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("open breaker still fetched")
+	}
+	if got := f.Stats().Peers[0].FetchFailures; got != 2 {
+		t.Fatalf("breaker-refused fetch changed failure count to %d", got)
+	}
+}
+
+func TestEvaluateForwardsToOwner(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n2")
+	cfgJSON := []byte(`{"k":15}`)
+	result := []byte(`{"latency":77}`)
+
+	var gotReq EvalRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fabric/eval" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		json.NewDecoder(r.Body).Decode(&gotReq)
+		json.NewEncoder(w).Encode(NewEnvelope(k, result))
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	got, ok := f.Evaluate(context.Background(), k, cfgJSON)
+	if !ok || string(got) != string(result) {
+		t.Fatalf("Evaluate = %q, %t; want forwarded result", got, ok)
+	}
+	if gotReq.Key != k.String() || string(gotReq.Config) != string(cfgJSON) {
+		t.Fatalf("request = %+v", gotReq)
+	}
+	s := f.Stats()
+	if s.Peers[0].Forwards != 1 || s.FallbackComputes != 0 {
+		t.Fatalf("forwards=%d fallbacks=%d, want 1/0", s.Peers[0].Forwards, s.FallbackComputes)
+	}
+}
+
+func TestEvaluateNoForwardContext(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{})
+	k := keyOwnedBy(t, f.ring, "n2")
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	if _, ok := f.Evaluate(NoForward(context.Background()), k, []byte(`{}`)); ok {
+		t.Fatal("forwarded-context evaluation forwarded again")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("NoForward context still hit the network")
+	}
+	if got := f.Stats().FallbackComputes; got != 0 {
+		t.Fatalf("NoForward counted as fallback: %d", got)
+	}
+}
+
+func TestEvaluateFallbackCounting(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{BreakerThreshold: 1})
+	k := keyOwnedBy(t, f.ring, "n2")
+
+	// No URL configured: immediate fallback.
+	if _, ok := f.Evaluate(context.Background(), k, []byte(`{}`)); ok {
+		t.Fatal("evaluated against a peer with no URL")
+	}
+	// Dead peer: fallback + breaker trip.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close()
+	f.SetURL("n2", srv.URL)
+	f.Evaluate(context.Background(), k, []byte(`{}`))
+	// Open breaker: fallback without a network call.
+	f.Evaluate(context.Background(), k, []byte(`{}`))
+
+	s := f.Stats()
+	if s.FallbackComputes != 3 {
+		t.Fatalf("fallback computes = %d, want 3", s.FallbackComputes)
+	}
+	if s.Peers[0].ForwardFailures != 1 {
+		t.Fatalf("forward failures = %d, want 1 (breaker-refused calls don't count)", s.Peers[0].ForwardFailures)
+	}
+
+	// Self-owned keys are never fallbacks.
+	self := keyOwnedBy(t, f.ring, "n1")
+	if _, ok := f.Evaluate(context.Background(), self, []byte(`{}`)); ok {
+		t.Fatal("self-owned key forwarded")
+	}
+	if got := f.Stats().FallbackComputes; got != 3 {
+		t.Fatalf("self-owned compute counted as fallback: %d", got)
+	}
+}
+
+func TestEvaluateRejectsCorruptResult(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{BreakerThreshold: 1})
+	k := keyOwnedBy(t, f.ring, "n2")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env := NewEnvelope(k, []byte(`{"latency":5}`))
+		env.Payload[0] ^= 0xff
+		json.NewEncoder(w).Encode(env)
+	}))
+	defer srv.Close()
+	f.SetURL("n2", srv.URL)
+
+	if _, ok := f.Evaluate(context.Background(), k, []byte(`{}`)); ok {
+		t.Fatal("corrupt forwarded result accepted")
+	}
+	s := f.Stats()
+	if s.Peers[0].ForwardFailures != 1 || s.FallbackComputes != 1 {
+		t.Fatalf("forwardFailures=%d fallbacks=%d, want 1/1", s.Peers[0].ForwardFailures, s.FallbackComputes)
+	}
+}
+
+func TestReplicationToSuccessor(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2", "n3"}, Options{Replicate: true})
+	k := keyOwnedBy(t, f.ring, "n1")
+	succ := f.ring.Successor(k)
+	payload := []byte(`{"latency":11}`)
+
+	received := make(chan RecordEnvelope, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut || r.URL.Path != "/v1/record/"+k.String() {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		var env RecordEnvelope
+		json.NewDecoder(r.Body).Decode(&env)
+		received <- env
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	f.SetURL(succ, srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	f.NotifyPut(k, payload)
+	select {
+	case env := <-received:
+		got, err := env.Verify(k)
+		if err != nil || string(got) != string(payload) {
+			t.Fatalf("replicated envelope: payload=%q err=%v", got, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replication never arrived")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s := f.Stats(); s.Peers[0].Node == succ && s.Peers[0].ReplicationSent == 1 {
+			break
+		}
+		if sent := false; !sent && time.Now().After(deadline) {
+			t.Fatalf("replication sent counter never reached 1: %+v", f.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNotifyPutSkipsPeerOwnedKeys(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2", "n3"}, Options{Replicate: true})
+	k := keyOwnedBy(t, f.ring, "n2")
+	f.NotifyPut(k, []byte(`{}`))
+	if got := f.Stats().ReplicationQueue; got != 0 {
+		t.Fatalf("peer-owned key enqueued for replication: queue=%d", got)
+	}
+}
+
+func TestNotifyPutDropsOnFullQueue(t *testing.T) {
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{Replicate: true})
+	k := keyOwnedBy(t, f.ring, "n1")
+	// No Run loop draining: fill the queue past its depth.
+	for i := 0; i < repQueueDepth+5; i++ {
+		f.NotifyPut(k, []byte(`{}`))
+	}
+	s := f.Stats()
+	if s.ReplicationQueue != repQueueDepth || s.ReplicationDropped != 5 {
+		t.Fatalf("queue=%d dropped=%d, want %d/5", s.ReplicationQueue, s.ReplicationDropped, repQueueDepth)
+	}
+}
+
+func TestProberClosesBreakerOnRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	f := newTestFabric(t, "n1", []string{"n1", "n2"}, Options{
+		BreakerThreshold: 1,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	f.SetURL("n2", srv.URL)
+	k := keyOwnedBy(t, f.ring, "n2")
+
+	f.Fetch(context.Background(), k) // trips the breaker
+	if f.Stats().Peers[0].Breaker != "open" {
+		t.Fatalf("breaker = %s, want open", f.Stats().Peers[0].Breaker)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	healthy.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Peers[0].Breaker != "closed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never re-closed the breaker: %+v", f.Stats().Peers[0])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestEnvelopeVerify(t *testing.T) {
+	k := keyWithPoint(99)
+	env := NewEnvelope(k, []byte("hello"))
+	if got, err := env.Verify(k); err != nil || string(got) != "hello" {
+		t.Fatalf("Verify of intact envelope: %q, %v", got, err)
+	}
+	bad := env
+	bad.SHA256 = "00" + bad.SHA256[2:]
+	if _, err := bad.Verify(k); err == nil {
+		t.Fatal("digest mismatch accepted")
+	}
+	if _, err := env.Verify(keyWithPoint(100)); err == nil {
+		t.Fatal("key mismatch accepted")
+	}
+}

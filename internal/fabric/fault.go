@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// PeerFaultPlan schedules deliberate failures into a node's peer-facing
+// endpoints (record serving and forwarded evaluation), extending the
+// store's -fault-store idea to the network layer so partition,
+// slow-peer and corrupt-record paths are exercised on purpose. Requests
+// are counted 1-based in arrival order across all peer endpoints, which
+// makes a plan deterministic for a serial requester: "every 5th peer
+// request is dropped" names specific requests. The zero value injects
+// nothing.
+//
+// Unlike the store plan's one-shot failwrite=N, every peer fault key is
+// periodic ("every Nth request"), because the interesting peer
+// pathologies — a partitioned, slow, or bit-rotting node — persist
+// rather than happen once. N=1 makes the fault total: corrupt=1 is a
+// node whose every served record is bad, drop=1 is a full partition.
+type PeerFaultPlan struct {
+	// DropEvery makes every Nth peer request drop its connection without
+	// a response — the partition shape (0 = never).
+	DropEvery int64
+	// StallEvery makes every Nth peer request sleep Stall before being
+	// served — the slow-peer shape (0 = never).
+	StallEvery int64
+	// Stall is the per-stall sleep; ignored unless StallEvery > 0.
+	Stall time.Duration
+	// CorruptEvery makes every Nth record-carrying response flip payload
+	// bytes after its digest was computed — the bit-rot shape the
+	// receiver's re-hash must catch (0 = never).
+	CorruptEvery int64
+
+	ops atomic.Int64
+}
+
+// PeerFault is the set of faults one specific request must suffer.
+type PeerFault struct {
+	// Drop aborts the connection without a response.
+	Drop bool
+	// Stall sleeps this long before serving (zero = no stall).
+	Stall time.Duration
+	// Corrupt flips payload bytes while leaving the declared digest
+	// intact, so receipt-side verification must reject the record.
+	Corrupt bool
+}
+
+// Next advances the plan's request clock and reports the faults due for
+// this request. A nil plan injects nothing.
+func (p *PeerFaultPlan) Next() PeerFault {
+	if p == nil {
+		return PeerFault{}
+	}
+	n := p.ops.Add(1)
+	var f PeerFault
+	if p.DropEvery > 0 && n%p.DropEvery == 0 {
+		f.Drop = true
+	}
+	if p.StallEvery > 0 && n%p.StallEvery == 0 {
+		f.Stall = p.Stall
+	}
+	if p.CorruptEvery > 0 && n%p.CorruptEvery == 0 {
+		f.Corrupt = true
+	}
+	return f
+}
+
+// ParsePeerFaultPlan parses the comma-separated grammar the msfud
+// -fault-peer flag accepts:
+//
+//	drop=N         every Nth peer request drops its connection
+//	stall=N:DUR    every Nth peer request first sleeps DUR (e.g. 10:50ms)
+//	corrupt=N      every Nth record response is served corrupted
+//
+// An empty spec yields an inject-nothing plan.
+func ParsePeerFaultPlan(spec string) (*PeerFaultPlan, error) {
+	p := &PeerFaultPlan{}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("fabric: fault spec %q: want key=value", part)
+		}
+		switch k {
+		case "drop", "corrupt":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fabric: fault spec %q: want a non-negative request interval", part)
+			}
+			if k == "drop" {
+				p.DropEvery = n
+			} else {
+				p.CorruptEvery = n
+			}
+		case "stall":
+			nStr, durStr, ok := strings.Cut(v, ":")
+			if !ok {
+				return nil, fmt.Errorf("fabric: fault spec %q: want stall=N:DURATION", part)
+			}
+			n, err := strconv.ParseInt(nStr, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fabric: fault spec %q: want a positive request interval", part)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fabric: fault spec %q: bad duration", part)
+			}
+			p.StallEvery, p.Stall = n, d
+		default:
+			return nil, fmt.Errorf("fabric: fault spec: unknown key %q (want drop|stall|corrupt)", k)
+		}
+	}
+	return p, nil
+}

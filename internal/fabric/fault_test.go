@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePeerFaultPlan(t *testing.T) {
+	p, err := ParsePeerFaultPlan("drop=5,stall=10:50ms,corrupt=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropEvery != 5 || p.StallEvery != 10 || p.Stall != 50*time.Millisecond || p.CorruptEvery != 3 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+
+	if p, err := ParsePeerFaultPlan(""); err != nil || p.DropEvery != 0 || p.StallEvery != 0 || p.CorruptEvery != 0 {
+		t.Fatalf("empty spec: plan=%+v err=%v, want inject-nothing plan", p, err)
+	}
+
+	for _, bad := range []string{
+		"drop",          // no value
+		"drop=x",        // non-numeric
+		"drop=-1",       // negative
+		"stall=5",       // missing duration
+		"stall=0:50ms",  // zero interval
+		"stall=5:xx",    // bad duration
+		"stall=5:-50ms", // negative duration
+		"explode=1",     // unknown key
+		"drop=1,,",      // empty clause
+	} {
+		if _, err := ParsePeerFaultPlan(bad); err == nil {
+			t.Errorf("ParsePeerFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPeerFaultPlanSchedule(t *testing.T) {
+	p, err := ParsePeerFaultPlan("drop=3,stall=2:10ms,corrupt=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		f := p.Next()
+		wantDrop := i%3 == 0
+		wantStall := i%2 == 0
+		wantCorrupt := i%6 == 0
+		if f.Drop != wantDrop || (f.Stall > 0) != wantStall || f.Corrupt != wantCorrupt {
+			t.Fatalf("request %d: got %+v, want drop=%t stall=%t corrupt=%t",
+				i, f, wantDrop, wantStall, wantCorrupt)
+		}
+	}
+}
+
+func TestPeerFaultPlanNilSafe(t *testing.T) {
+	var p *PeerFaultPlan
+	if f := p.Next(); f.Drop || f.Stall != 0 || f.Corrupt {
+		t.Fatalf("nil plan injected %+v", f)
+	}
+}

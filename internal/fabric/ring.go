@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"magicstate/internal/store"
+)
+
+// vnodesPerNode is how many virtual nodes each physical node claims on
+// the ring. More virtual nodes smooth the key distribution (the spread
+// between the most- and least-loaded node shrinks roughly with
+// 1/sqrt(vnodes)); 64 keeps the imbalance under a few percent for the
+// small clusters this service runs as, at a ring of a few hundred
+// entries that a binary search traverses in nanoseconds.
+const vnodesPerNode = 64
+
+// ringVersion is folded into every virtual-node hash. Bumping it
+// re-deals the whole ring, which is the safe failure mode if the point
+// or hash encoding below ever changes: nodes disagreeing about
+// ownership degrade to fallback computes, never to wrong answers.
+const ringVersion = 1
+
+// vnode is one virtual node: a point on the [0, 2^64) ring owned by a
+// physical node.
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node ids. Two
+// processes constructing a Ring from the same id set (in any order)
+// agree on the owner of every key, which is what lets shared-nothing
+// msfud nodes route to each other without any coordination service.
+type Ring struct {
+	nodes  []string
+	vnodes []vnode
+}
+
+// NewRing builds a ring over the given node ids. Ids are deduplicated
+// and sorted, so membership — not argument order — defines the ring. At
+// least one id is required.
+func NewRing(nodes []string) (*Ring, error) {
+	seen := make(map[string]bool, len(nodes))
+	var uniq []string
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("fabric: empty node id")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("fabric: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq}
+	for _, n := range uniq {
+		for i := 0; i < vnodesPerNode; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: vnodeHash(n, i), node: n})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		// A 64-bit hash collision between virtual nodes is vanishingly
+		// unlikely but must still order deterministically everywhere.
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+	return r, nil
+}
+
+// vnodeHash places one virtual node on the ring: the first 8 bytes of a
+// SHA-256 over a versioned, unambiguous encoding of (node, index).
+func vnodeHash(node string, i int) uint64 {
+	h := sha256.Sum256([]byte(fmt.Sprintf("magicstate/fabric ring v%d|%s|%d", ringVersion, node, i)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// point maps a key onto the ring. The key is already a SHA-256 digest,
+// so its first 8 bytes are uniformly distributed as they stand.
+func point(k store.Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Nodes returns the ring's member ids in sorted order. The slice is
+// shared; treat it as read-only.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner names the node that owns k: the first virtual node at or after
+// the key's point, wrapping at the top of the ring.
+func (r *Ring) Owner(k store.Key) string {
+	return r.vnodes[r.ownerIdx(k)].node
+}
+
+// ownerIdx locates the owning virtual node's index.
+func (r *Ring) ownerIdx(k store.Key) int {
+	p := point(k)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= p })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Successor names the next distinct node after k's owner on the ring —
+// the replication target for records the owner computes. It returns ""
+// on a single-node ring, where there is nobody to replicate to.
+func (r *Ring) Successor(k store.Key) string {
+	if len(r.nodes) < 2 {
+		return ""
+	}
+	start := r.ownerIdx(k)
+	owner := r.vnodes[start].node
+	for i := 1; i < len(r.vnodes); i++ {
+		if n := r.vnodes[(start+i)%len(r.vnodes)].node; n != owner {
+			return n
+		}
+	}
+	return ""
+}

@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"magicstate/internal/store"
+)
+
+// keyWithPoint fabricates a key whose ring point is exactly p. Only the
+// first 8 bytes matter for placement.
+func keyWithPoint(p uint64) store.Key {
+	var k store.Key
+	binary.BigEndian.PutUint64(k[:8], p)
+	return k
+}
+
+// keyOwnedBy finds a key that node owns on r, by scanning points.
+func keyOwnedBy(t *testing.T, r *Ring, node string) store.Key {
+	t.Helper()
+	for i := uint64(0); i < 1_000_000; i++ {
+		k := keyWithPoint(i * 0x9e3779b97f4a7c15) // golden-ratio stride
+		if r.Owner(k) == node {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by %s found", node)
+	return store.Key{}
+}
+
+func TestRingMembershipDefinesOwnership(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different argument order, duplicates included: same ring.
+	b, err := NewRing([]string{"n3", "n1", "n2", "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		k := keyWithPoint(uint64(i) * 0x9e3779b97f4a7c15)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on owner of %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		k := keyWithPoint(uint64(i) * 0x9e3779b97f4a7c15)
+		counts[r.Owner(k)]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / n
+		// Perfect balance is 1/3; with 64 vnodes/node anything inside
+		// [0.2, 0.5] is fine — the test guards gross misplacement (one
+		// node owning everything), not statistical polish.
+		if frac < 0.20 || frac > 0.50 {
+			t.Errorf("node %s owns %.1f%% of keys, want roughly a third", node, 100*frac)
+		}
+	}
+}
+
+func TestRingSuccessorDistinctFromOwner(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		k := keyWithPoint(uint64(i) * 0x9e3779b97f4a7c15)
+		owner, succ := r.Owner(k), r.Successor(k)
+		if succ == "" {
+			t.Fatalf("no successor for %s on a 3-node ring", k)
+		}
+		if succ == owner {
+			t.Fatalf("successor of %s equals owner %s", k, owner)
+		}
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r, err := NewRing([]string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyWithPoint(42)
+	if got := r.Owner(k); got != "solo" {
+		t.Fatalf("Owner = %s, want solo", got)
+	}
+	if got := r.Successor(k); got != "" {
+		t.Fatalf("Successor on 1-node ring = %q, want empty", got)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point above every vnode hash must wrap to the first vnode.
+	top := keyWithPoint(^uint64(0))
+	first := r.vnodes[0].node
+	if got := r.Owner(top); got != first {
+		t.Fatalf("Owner(max point) = %s, want wrap to %s", got, first)
+	}
+}

@@ -35,8 +35,8 @@ import (
 	"sync/atomic"
 
 	"magicstate/internal/circuit"
-	"magicstate/internal/cluster"
 	"magicstate/internal/graph"
+	"magicstate/internal/kmeans"
 	"magicstate/internal/layout"
 	"magicstate/internal/stats"
 )
@@ -256,7 +256,7 @@ type runState struct {
 	memberCur   []int32
 	memberList  []int
 	// pts is the k-means scratch for communityKick.
-	pts []cluster.Point
+	pts []kmeans.Point
 }
 
 // run executes one annealing run against the reused arenas and returns a
@@ -729,15 +729,15 @@ func (st *runState) communityKick(comm []int, commCount int) {
 		// Cluster the community spatially; if split, attract clusters
 		// toward the community centroid.
 		if cap(st.pts) < len(vs) {
-			st.pts = make([]cluster.Point, len(vs))
+			st.pts = make([]kmeans.Point, len(vs))
 		}
 		pts := st.pts[:len(vs)]
 		for i, v := range vs {
 			pt := st.p.At(v)
-			pts[i] = cluster.Point{X: float64(pt.X), Y: float64(pt.Y)}
+			pts[i] = kmeans.Point{X: float64(pt.X), Y: float64(pt.Y)}
 		}
 		kk := 2
-		res := cluster.KMeans(pts, kk, 25, st.rng)
+		res := kmeans.KMeans(pts, kk, 25, st.rng)
 		if len(res.Centroids) < 2 {
 			continue
 		}

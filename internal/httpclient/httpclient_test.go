@@ -188,6 +188,52 @@ func TestParseRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterEdgeCases pins the contract at its boundaries:
+// zero is a legal "retry now", every RFC 7231 date format parses, a
+// date equal to now is not a failure, and the many strings that look
+// almost like delay-seconds are rejected rather than misread.
+func TestParseRetryAfterEdgeCases(t *testing.T) {
+	now := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+
+	// Zero seconds: valid, means the server is ready again already.
+	if d, ok := ParseRetryAfter("0", now); !ok || d != 0 {
+		t.Fatalf(`ParseRetryAfter("0") = %v, %v; want 0, true`, d, ok)
+	}
+	// Leading zeros are still plain integers.
+	if d, ok := ParseRetryAfter("007", now); !ok || d != 7*time.Second {
+		t.Fatalf(`ParseRetryAfter("007") = %v, %v; want 7s, true`, d, ok)
+	}
+
+	// http.ParseTime accepts all three RFC 7231 date formats; the
+	// preferred IMF-fixdate is covered above, so pin the two legacy
+	// forms here.
+	future := now.Add(2 * time.Minute)
+	for name, v := range map[string]string{
+		"rfc850":   future.Format(time.RFC850),
+		"ansi-c":   future.Format(time.ANSIC),
+		"imf-date": future.Format(http.TimeFormat),
+	} {
+		if d, ok := ParseRetryAfter(v, now); !ok || d != 2*time.Minute {
+			t.Errorf("%s form %q = %v, %v; want 2m, true", name, v, d, ok)
+		}
+	}
+	// A date exactly at now is a boundary, not an error: wait zero.
+	if d, ok := ParseRetryAfter(now.Format(http.TimeFormat), now); !ok || d != 0 {
+		t.Fatalf("date == now = %v, %v; want 0, true", d, ok)
+	}
+
+	// Near-miss garbage must be rejected, not rounded or truncated.
+	for _, bad := range []string{
+		"7.5", "7s", " 7", "7 ", "+",
+		"-0.1", "99999999999999999999999999",
+		"Mon, 32 Jan 2024 99:00:00 GMT",
+	} {
+		if d, ok := ParseRetryAfter(bad, now); ok {
+			t.Errorf("ParseRetryAfter(%q) = %v, true; want rejection", bad, d)
+		}
+	}
+}
+
 func TestDoReturnsTransportErrorAfterRetries(t *testing.T) {
 	fs := &fakeSleep{}
 	c := &Client{Sleep: fs.sleep, Rand: fixedRand, MaxAttempts: 2}

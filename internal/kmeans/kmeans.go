@@ -1,9 +1,9 @@
-// Package cluster implements k-means clustering over 2-D points. The
+// Package kmeans implements k-means clustering over 2-D points. The
 // paper's force-directed community optimizations (§VI.B.1) use k-means to
 // locate the centroids of the spatial clusters a community has broken into,
 // and the hierarchical stitching hop optimizer uses it to seed intermediate
 // destinations.
-package cluster
+package kmeans
 
 import (
 	"math"

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"magicstate/internal/core"
+)
+
+func TestParseKey(t *testing.T) {
+	k := KeyOf(core.Config{K: 4, Levels: 2})
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("ParseKey(String) = %v, %v; want round-trip", got, err)
+	}
+	for _, bad := range []string{"", "zz", "abcd", strings.Repeat("ab", 31), strings.Repeat("ab", 33)} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLookupReportContextReadThrough(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cfg := core.Config{K: 4, Levels: 2, Seed: 7}
+	rec := Record{Strategy: "peer", Latency: 42, Area: 7, Volume: 294}
+	payload, _ := json.Marshal(rec)
+
+	var fetchedKeys []Key
+	s.SetFetcher(func(ctx context.Context, k Key) ([]byte, bool) {
+		fetchedKeys = append(fetchedKeys, k)
+		return payload, true
+	})
+
+	rep, ok := s.LookupReportContext(context.Background(), cfg)
+	if !ok || rep.Latency != 42 || rep.Strategy != "peer" {
+		t.Fatalf("read-through lookup = %+v, %t", rep, ok)
+	}
+	if len(fetchedKeys) != 1 || fetchedKeys[0] != KeyOf(cfg) {
+		t.Fatalf("fetcher saw keys %v", fetchedKeys)
+	}
+	// The fetched record was admitted locally: the next lookup is a
+	// local hit, no second fetch.
+	if rep, ok := s.LookupReportContext(context.Background(), cfg); !ok || rep.Latency != 42 {
+		t.Fatalf("second lookup = %+v, %t", rep, ok)
+	}
+	if len(fetchedKeys) != 1 {
+		t.Fatalf("fetcher called %d times, want 1", len(fetchedKeys))
+	}
+	st := s.Stats()
+	if st.PeerHits != 1 {
+		t.Fatalf("PeerHits = %d, want 1", st.PeerHits)
+	}
+}
+
+func TestLookupReportContextRejectsUndecodableFetch(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cfg := core.Config{K: 4, Levels: 2}
+	s.SetFetcher(func(ctx context.Context, k Key) ([]byte, bool) {
+		return []byte("{not json"), true
+	})
+	if _, ok := s.LookupReportContext(context.Background(), cfg); ok {
+		t.Fatal("undecodable fetch served")
+	}
+	// Nothing was admitted to the store.
+	if _, ok := s.Get(KeyOf(cfg)); ok {
+		t.Fatal("undecodable fetch admitted to the local store")
+	}
+	if got := s.Stats().PeerHits; got != 0 {
+		t.Fatalf("PeerHits = %d, want 0", got)
+	}
+}
+
+func TestLookupReportContextWithoutFetcherIsLocal(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cfg := core.Config{K: 4, Levels: 2}
+	if _, ok := s.LookupReportContext(context.Background(), cfg); ok {
+		t.Fatal("miss served from nowhere")
+	}
+	rep := &core.Report{Config: cfg, Strategy: "local", Latency: 9}
+	if err := s.PutReport(cfg, rep); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.LookupReportContext(context.Background(), cfg); !ok || got.Latency != 9 {
+		t.Fatalf("local lookup = %+v, %t", got, ok)
+	}
+}
+
+func TestLookupReportContextUncacheableNeverFetches(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	called := false
+	s.SetFetcher(func(ctx context.Context, k Key) ([]byte, bool) { called = true; return nil, false })
+	cfg := core.Config{K: 4, Levels: 2, RecordPaths: true}
+	if _, ok := s.LookupReportContext(context.Background(), cfg); ok {
+		t.Fatal("uncacheable config served")
+	}
+	if called {
+		t.Fatal("uncacheable config consulted the fetcher")
+	}
+}
+
+func TestOnPutHookFiresOnFreshPutsOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type putEvent struct {
+		k       Key
+		payload string
+	}
+	var events []putEvent
+	s.SetOnPut(func(k Key, payload []byte) {
+		events = append(events, putEvent{k, string(payload)})
+	})
+
+	k := KeyOf(core.Config{K: 5, Levels: 1})
+	if err := s.Put(k, []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte(`{"a":2}`)); err != nil { // duplicate: no event
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].k != k || events[0].payload != `{"a":1}` {
+		t.Fatalf("events = %+v, want one fresh-put event", events)
+	}
+
+	// The hook can call back into the store without deadlocking (it
+	// runs outside the store lock) — the fabric's NotifyPut reads ring
+	// state but replication receivers do re-enter Put paths.
+	s.SetOnPut(func(k Key, payload []byte) { s.Get(k) })
+	if err := s.Put(KeyOf(core.Config{K: 6, Levels: 1}), []byte(`{"b":1}`)); err != nil {
+		t.Fatal(err)
+	}
+}

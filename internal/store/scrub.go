@@ -1,0 +1,142 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ScrubReport is the outcome of an offline store verification.
+type ScrubReport struct {
+	// Entries is the total index entry count on disk (including any
+	// past the valid prefix).
+	Entries int
+	// Valid is the length of the longest valid prefix, in entries:
+	// every entry up to here passes its own CRC, is contiguous and
+	// in-range, and its payload passes the payload CRC.
+	Valid int
+	// BadRecords lists soft findings within the valid prefix: records
+	// whose payload does not decode as a Record, and duplicate keys.
+	// These never block reads (lookups decode-check anyway) but point
+	// at a writer bug or foreign data.
+	BadRecords []string
+	// Truncated reports whether the files hold data past the valid
+	// prefix — the condition -repair would (or did) truncate away.
+	Truncated bool
+	// Reason describes the first chain break when Truncated is true.
+	Reason string
+	// IndexBytes and LogBytes are the on-disk file sizes found.
+	IndexBytes, LogBytes int64
+	// ValidIndexBytes and ValidLogBytes are the sizes of the valid
+	// prefix — what the files are truncated to under -repair.
+	ValidIndexBytes, ValidLogBytes int64
+	// Repaired reports whether this scrub truncated the files.
+	Repaired bool
+}
+
+// Clean reports whether the scrub found nothing wrong at all.
+func (r *ScrubReport) Clean() bool {
+	return !r.Truncated && len(r.BadRecords) == 0
+}
+
+// Scrub verifies a store directory offline, without opening it as a
+// live Store: it replays the index against the log exactly the way
+// recovery does (entry CRC, contiguity, range, payload CRC), then
+// applies softer checks within the valid prefix (payloads must decode
+// as Records; keys must be unique). With repair set, files holding data
+// past the valid prefix are truncated back to it — the same operation
+// the next Open would perform, done eagerly and reported.
+//
+// Scrub takes the same in-process single-writer slot a live Store
+// would, so it cannot race a Store writing the directory.
+func Scrub(dir string, repair bool) (*ScrubReport, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	openDirs.mu.Lock()
+	if openDirs.dirs[absDir] {
+		openDirs.mu.Unlock()
+		return nil, fmt.Errorf("store: %s is open in this process; close it before scrubbing", dir)
+	}
+	openDirs.dirs[absDir] = true
+	openDirs.mu.Unlock()
+	defer func() {
+		openDirs.mu.Lock()
+		delete(openDirs.dirs, absDir)
+		openDirs.mu.Unlock()
+	}()
+
+	logBytes, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		return nil, fmt.Errorf("store: read log: %w", err)
+	}
+	idxBytes, err := os.ReadFile(filepath.Join(dir, idxName))
+	if err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+
+	rep := &ScrubReport{
+		Entries:    len(idxBytes) / entrySize,
+		IndexBytes: int64(len(idxBytes)),
+		LogBytes:   int64(len(logBytes)),
+	}
+	if len(idxBytes)%entrySize != 0 {
+		rep.Reason = fmt.Sprintf("index length %d is not a multiple of the %d-byte entry size (torn tail)", len(idxBytes), entrySize)
+	}
+
+	seen := make(map[Key]bool, rep.Entries)
+	var validLog int64
+	for off := 0; off+entrySize <= len(idxBytes); off += entrySize {
+		e := idxBytes[off : off+entrySize]
+		entryNo := off / entrySize
+		if crc32.ChecksumIEEE(e[:48]) != binary.LittleEndian.Uint32(e[48:52]) {
+			rep.Reason = fmt.Sprintf("entry %d fails its entry CRC", entryNo)
+			break
+		}
+		recOff := int64(binary.LittleEndian.Uint64(e[32:40]))
+		recLen := int64(binary.LittleEndian.Uint32(e[40:44]))
+		if recOff != validLog {
+			rep.Reason = fmt.Sprintf("entry %d is non-contiguous (offset %d, want %d)", entryNo, recOff, validLog)
+			break
+		}
+		if recOff+recLen > int64(len(logBytes)) {
+			rep.Reason = fmt.Sprintf("entry %d extends past the log end (%d+%d > %d)", entryNo, recOff, recLen, len(logBytes))
+			break
+		}
+		payload := logBytes[recOff : recOff+recLen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(e[44:48]) {
+			rep.Reason = fmt.Sprintf("entry %d payload fails its CRC", entryNo)
+			break
+		}
+		var k Key
+		copy(k[:], e[:32])
+		if seen[k] {
+			rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d: duplicate key %s", entryNo, k))
+		}
+		seen[k] = true
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d (%s): payload does not decode as a record: %v", entryNo, k, err))
+		}
+		rep.Valid++
+		validLog = recOff + recLen
+	}
+	rep.ValidIndexBytes = int64(rep.Valid * entrySize)
+	rep.ValidLogBytes = validLog
+	rep.Truncated = rep.ValidIndexBytes != rep.IndexBytes || rep.ValidLogBytes != rep.LogBytes
+
+	if repair && rep.Truncated {
+		if err := os.Truncate(filepath.Join(dir, idxName), rep.ValidIndexBytes); err != nil {
+			return rep, fmt.Errorf("store: repair index: %w", err)
+		}
+		if err := os.Truncate(filepath.Join(dir, logName), rep.ValidLogBytes); err != nil {
+			return rep, fmt.Errorf("store: repair log: %w", err)
+		}
+		rep.Repaired = true
+	}
+	return rep, nil
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"magicstate/internal/core"
+)
+
+// buildScrubDir writes a store of n JSON records and returns its dir.
+func buildScrubDir(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	dir := buildScrubDir(t, 10)
+	rep, err := Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Entries != 10 || rep.Valid != 10 {
+		t.Fatalf("clean store scrub = %+v", rep)
+	}
+}
+
+func TestScrubDetectsAndRepairsCorruptTail(t *testing.T) {
+	dir := buildScrubDir(t, 10)
+	// Corrupt the payload of the 8th record: everything from entry 7 on
+	// is lost, entries 0-6 survive.
+	logPath := filepath.Join(dir, logName)
+	idx, err := os.ReadFile(filepath.Join(dir, idxName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(0)
+	for i := 0; i < 7; i++ {
+		e := idx[i*entrySize : (i+1)*entrySize]
+		off += int64(uint32(e[40]) | uint32(e[41])<<8 | uint32(e[42])<<16 | uint32(e[43])<<24)
+	}
+	logData[off] ^= 0xff
+	if err := os.WriteFile(logPath, logData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || !rep.Truncated || rep.Valid != 7 {
+		t.Fatalf("scrub of corrupted store = %+v", rep)
+	}
+	if !strings.Contains(rep.Reason, "entry 7") {
+		t.Fatalf("reason %q does not name entry 7", rep.Reason)
+	}
+	// Dry run must not have touched the files.
+	if fi, _ := os.Stat(logPath); fi.Size() != int64(len(logData)) {
+		t.Fatal("scrub without repair modified the log")
+	}
+
+	rep, err = Scrub(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired || rep.Valid != 7 {
+		t.Fatalf("repair scrub = %+v", rep)
+	}
+	// After repair the store is clean and opens with the 7 survivors.
+	rep, err = Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Entries != 7 {
+		t.Fatalf("post-repair scrub = %+v", rep)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 7 {
+		t.Fatalf("post-repair Len = %d, want 7", got)
+	}
+}
+
+func TestScrubFlagsUndecodablePayloads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf(core.Config{K: 3, Levels: 1})
+	if err := s.Put(k, []byte("not json at all")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CRC-valid but not a record: a soft finding, not a truncation.
+	if rep.Truncated || len(rep.BadRecords) != 1 {
+		t.Fatalf("scrub = %+v, want one bad record and no truncation", rep)
+	}
+}
+
+func TestScrubRefusesOpenStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Scrub(dir, false); err == nil {
+		t.Fatal("scrub of an open store directory succeeded")
+	}
+}
+
+func TestScrubMissingDir(t *testing.T) {
+	if _, err := Scrub(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+		t.Fatal("scrub of a missing directory succeeded")
+	}
+}

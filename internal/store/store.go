@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -31,6 +32,9 @@ var ErrClosed = errors.New("store: closed")
 type Stats struct {
 	// Hits and Misses count Get outcomes since Open.
 	Hits, Misses int64
+	// PeerHits counts local misses served by the read-through fetcher
+	// (a peer's store) instead of recomputation.
+	PeerHits int64
 	// Puts counts records appended since Open (duplicates excluded).
 	Puts int64
 	// Records is the live record count, recovered entries included.
@@ -38,6 +42,14 @@ type Stats struct {
 	// LogBytes is the current size of the record log in bytes.
 	LogBytes int64
 }
+
+// Fetcher is the read-through hook consulted on a local miss: given a
+// key, it may produce the record payload from elsewhere (in practice, a
+// cluster peer's store via internal/fabric). ok=false means "not
+// available, compute locally". Implementations own their own
+// verification — the store additionally refuses payloads that do not
+// decode as a Record before admitting them.
+type Fetcher func(ctx context.Context, k Key) ([]byte, bool)
 
 // storeFile is the slice of *os.File the store drives. Production opens
 // real files; fault-injection tests and soak harnesses wrap them in a
@@ -69,6 +81,13 @@ type Store struct {
 	closed bool
 
 	hits, misses, puts int64
+	peerHits           int64
+
+	// hookMu guards the two cluster hooks below, which are configured
+	// once at wiring time but read on every Put/lookup.
+	hookMu  sync.RWMutex
+	fetcher Fetcher
+	onPut   func(k Key, payload []byte)
 }
 
 // openDirs guards against two Stores writing one directory from the
@@ -203,6 +222,25 @@ func (s *Store) recover() error {
 // Dir reports the directory the store lives in.
 func (s *Store) Dir() string { return s.dir }
 
+// SetFetcher installs the read-through hook LookupReportContext
+// consults on a local miss. A nil fetcher (the default) makes every
+// lookup purely local. Safe to call concurrently with lookups.
+func (s *Store) SetFetcher(f Fetcher) {
+	s.hookMu.Lock()
+	s.fetcher = f
+	s.hookMu.Unlock()
+}
+
+// SetOnPut installs a hook invoked after every fresh Put (duplicates
+// and failed appends do not fire it), outside the store's lock. The
+// fabric uses it to replicate freshly computed records; the hook must
+// treat the payload as read-only.
+func (s *Store) SetOnPut(h func(k Key, payload []byte)) {
+	s.hookMu.Lock()
+	s.onPut = h
+	s.hookMu.Unlock()
+}
+
 // Get returns the payload stored under k. The boolean reports whether
 // the key was present; the returned slice must be treated as read-only.
 func (s *Store) Get(k Key) ([]byte, bool) {
@@ -226,17 +264,33 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 // — a torn index fragment left in place would break the fixed-width
 // entry alignment and cost every later record at the next recovery.
 func (s *Store) Put(k Key, payload []byte) error {
+	fresh, err := s.put(k, payload)
+	if err != nil || !fresh {
+		return err
+	}
+	s.hookMu.RLock()
+	h := s.onPut
+	s.hookMu.RUnlock()
+	if h != nil {
+		h(k, payload)
+	}
+	return nil
+}
+
+// put appends the record under the store lock and reports whether the
+// key was freshly added (false for duplicates).
+func (s *Store) put(k Key, payload []byte) (fresh bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	if _, ok := s.mem[k]; ok {
-		return nil
+		return false, nil
 	}
 	if _, err := s.logF.Write(payload); err != nil {
 		s.rollback()
-		return fmt.Errorf("store: append log: %w", err)
+		return false, fmt.Errorf("store: append log: %w", err)
 	}
 	var e [entrySize]byte
 	copy(e[:32], k[:])
@@ -246,13 +300,13 @@ func (s *Store) Put(k Key, payload []byte) error {
 	binary.LittleEndian.PutUint32(e[48:52], crc32.ChecksumIEEE(e[:48]))
 	if _, err := s.idxF.Write(e[:]); err != nil {
 		s.rollback()
-		return fmt.Errorf("store: append index: %w", err)
+		return false, fmt.Errorf("store: append index: %w", err)
 	}
 	s.logLen += int64(len(payload))
 	s.idxLen += entrySize
 	s.mem[k] = append([]byte(nil), payload...)
 	s.puts++
-	return nil
+	return true, nil
 }
 
 // rollback restores both files to the last committed record boundary
@@ -280,7 +334,7 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Hits: s.hits, Misses: s.misses, PeerHits: s.peerHits, Puts: s.puts,
 		Records: len(s.mem), LogBytes: s.logLen,
 	}
 }

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"magicstate/internal/core"
+	"magicstate/internal/store"
+)
+
+// TestRemoteTierServesPoints runs the same grid on a "peer" engine
+// first, then wires a second engine's Remote hook to the peer and
+// checks every unique point is served remotely, persisted locally, and
+// scalar-identical to a locally computed run.
+func TestRemoteTierServesPoints(t *testing.T) {
+	cfgs := smallGrid()
+
+	peer := New(Options{Workers: 1})
+	want, err := peer.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var remoteCalls atomic.Int64
+	eng := New(Options{Workers: 2, Store: st, Remote: func(ctx context.Context, cfg core.Config) (*core.Report, bool) {
+		remoteCalls.Add(1)
+		rep, err := peer.RunOneContext(ctx, cfg)
+		if err != nil {
+			return nil, false
+		}
+		return rep, true
+	}})
+
+	got, err := eng.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := eng.RemoteHits(); hits != 3 {
+		t.Fatalf("RemoteHits = %d, want 3 unique points", hits)
+	}
+	if calls := remoteCalls.Load(); calls != 3 {
+		t.Fatalf("remote called %d times, want 3 (memo dedups the duplicate)", calls)
+	}
+	// Remote results are persisted like local ones.
+	if puts := st.Stats().Puts; puts != 3 {
+		t.Fatalf("store holds %d records, want 3", puts)
+	}
+	for i := range want {
+		a, b := *want[i], *got[i]
+		a.Factory, a.Placement, a.Sim = nil, nil, nil
+		b.Factory, b.Placement, b.Sim = nil, nil, nil
+		if a != b {
+			t.Fatalf("point %d differs:\n local:  %+v\n remote: %+v", i, a, b)
+		}
+	}
+}
+
+// TestRemoteTierFallsBackToLocalCompute declines every remote offer and
+// checks the engine computes everything itself, correctly.
+func TestRemoteTierFallsBackToLocalCompute(t *testing.T) {
+	cfgs := smallGrid()
+	var offers atomic.Int64
+	eng := New(Options{Workers: 1, Remote: func(ctx context.Context, cfg core.Config) (*core.Report, bool) {
+		offers.Add(1)
+		return nil, false
+	}})
+	reps, err := eng.Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers.Load() != 3 {
+		t.Fatalf("remote offered %d points, want 3", offers.Load())
+	}
+	if eng.RemoteHits() != 0 {
+		t.Fatalf("RemoteHits = %d, want 0", eng.RemoteHits())
+	}
+	for i, rep := range reps {
+		if rep == nil || rep.Latency <= 0 {
+			t.Fatalf("point %d not computed locally: %+v", i, rep)
+		}
+	}
+}
+
+// TestRemoteTierSkipsUncacheablePoints: trace-carrying configs have no
+// record form, so they must never be offered to the remote tier.
+func TestRemoteTierSkipsUncacheablePoints(t *testing.T) {
+	var offers atomic.Int64
+	eng := New(Options{Workers: 1, Remote: func(ctx context.Context, cfg core.Config) (*core.Report, bool) {
+		offers.Add(1)
+		return nil, false
+	}})
+	cfg := core.Config{K: 2, Levels: 1, RecordPaths: true}
+	if _, err := eng.RunOne(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if offers.Load() != 0 {
+		t.Fatalf("uncacheable point offered to the remote tier %d times", offers.Load())
+	}
+}
+
+// TestRemoteTierOrderBelowStore: a point already on disk is a disk hit,
+// never a remote call.
+func TestRemoteTierOrderBelowStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := New(Options{Workers: 1, Store: st})
+	cfg := core.Config{K: 2, Levels: 1, Strategy: core.StrategyLinear, Seed: 1}
+	if _, err := pre.RunOne(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var offers atomic.Int64
+	eng := New(Options{Workers: 1, Store: st2, Remote: func(ctx context.Context, cfg core.Config) (*core.Report, bool) {
+		offers.Add(1)
+		return nil, false
+	}})
+	if _, err := eng.RunOne(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if eng.DiskHits() != 1 || offers.Load() != 0 {
+		t.Fatalf("diskHits=%d remoteOffers=%d, want 1/0", eng.DiskHits(), offers.Load())
+	}
+}

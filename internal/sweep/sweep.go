@@ -32,18 +32,27 @@ type Options struct {
 	// freshly computed cacheable results. The engine never closes the
 	// store — its owner does.
 	Store *store.Store
+	// Remote, when set, adds a cluster tier beneath the store: a point
+	// missed by every local tier is offered to Remote (in practice the
+	// fabric's forward-to-owner call) before being computed here.
+	// ok=false means "compute locally" — the engine treats the remote
+	// tier as best-effort and never fails a point on its account. A
+	// remote result is persisted like a local one.
+	Remote func(ctx context.Context, cfg core.Config) (*core.Report, bool)
 }
 
 // Engine is a reusable batch executor. An Engine is safe for concurrent
 // use; its memo cache persists across Run calls, so successive artifacts
 // in one process share grid points.
 type Engine struct {
-	workers  int
-	progress func(done, total int)
-	progMu   sync.Mutex
-	cache    *memo.Cache
-	store    *store.Store
-	diskHits *atomic.Int64 // shared by every engine Derive produces
+	workers    int
+	progress   func(done, total int)
+	progMu     sync.Mutex
+	cache      *memo.Cache
+	store      *store.Store
+	remote     func(ctx context.Context, cfg core.Config) (*core.Report, bool)
+	diskHits   *atomic.Int64 // shared by every engine Derive produces
+	remoteHits *atomic.Int64 // points served by the remote tier
 }
 
 // New builds an engine.
@@ -53,11 +62,13 @@ func New(opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		workers:  w,
-		progress: opts.Progress,
-		cache:    memo.New(opts.CacheLimit),
-		store:    opts.Store,
-		diskHits: new(atomic.Int64),
+		workers:    w,
+		progress:   opts.Progress,
+		cache:      memo.New(opts.CacheLimit),
+		store:      opts.Store,
+		remote:     opts.Remote,
+		diskHits:   new(atomic.Int64),
+		remoteHits: new(atomic.Int64),
 	}
 }
 
@@ -74,11 +85,13 @@ func (e *Engine) Derive(opts Options) *Engine {
 		w = e.workers
 	}
 	return &Engine{
-		workers:  w,
-		progress: opts.Progress,
-		cache:    e.cache,
-		store:    e.store,
-		diskHits: e.diskHits,
+		workers:    w,
+		progress:   opts.Progress,
+		cache:      e.cache,
+		store:      e.store,
+		remote:     e.remote,
+		diskHits:   e.diskHits,
+		remoteHits: e.remoteHits,
 	}
 }
 
@@ -97,6 +110,11 @@ func (e *Engine) Store() *store.Store { return e.store }
 // instead of being recomputed, across this engine and every engine
 // sharing its cache via Derive.
 func (e *Engine) DiskHits() int64 { return e.diskHits.Load() }
+
+// RemoteHits reports how many points were served by the remote (cluster)
+// tier instead of being computed here, across this engine and every
+// engine sharing its cache via Derive.
+func (e *Engine) RemoteHits() int64 { return e.remoteHits.Load() }
 
 // Run executes every Config point and returns the reports in input
 // order. Identical points are computed once (reports are shared — treat
@@ -133,8 +151,20 @@ func (e *Engine) RunOne(cfg core.Config) (*core.Report, error) {
 func (e *Engine) RunOneContext(ctx context.Context, cfg core.Config) (*core.Report, error) {
 	v, err := e.cache.Do(cfg, func() (any, error) {
 		if e.store != nil {
-			if rep, ok := e.store.LookupReport(cfg); ok {
+			// The context-aware lookup reaches through to cluster peers on
+			// a local miss when a fetcher is wired; without one it is the
+			// plain local lookup.
+			if rep, ok := e.store.LookupReportContext(ctx, cfg); ok {
 				e.diskHits.Add(1)
+				return rep, nil
+			}
+		}
+		if e.remote != nil && store.Cacheable(cfg) {
+			if rep, ok := e.remote(ctx, cfg); ok {
+				e.remoteHits.Add(1)
+				if e.store != nil {
+					_ = e.store.PutReport(cfg, rep)
+				}
 				return rep, nil
 			}
 		}
