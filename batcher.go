@@ -233,22 +233,44 @@ type CacheStats struct {
 	// RemoteEvalHits counts points evaluated by their owning peer via
 	// the RemoteEval hook instead of computed here.
 	RemoteEvalHits int64
-	// StoredRecords is the checkpoint store's live record count.
+	// StoredRecords is the checkpoint store's live final-record count —
+	// one per pipeline point answered.
 	StoredRecords int
 	// StoredBytes is the checkpoint store's record log size.
 	StoredBytes int64
 	// CheckpointDir is the store directory ("" when memory-only).
 	CheckpointDir string
+	// Stage-tier traffic: on a final-record miss the pipeline resolves
+	// each stage (factory build, placement, simulation) through its own
+	// cache tier. Hits count stage artifacts replayed from the durable
+	// store instead of recomputed; Computes count actual stage
+	// executions. A sweep that varies only downstream axes shows build
+	// (and place) hits where a cold run shows computes.
+	StageBuildHits, StageBuildComputes int64
+	// StagePlaceHits and StagePlaceComputes are the placement stage's
+	// replayed/executed split.
+	StagePlaceHits, StagePlaceComputes int64
+	// StageSimHits and StageSimComputes are the simulation stage's
+	// replayed/executed split.
+	StageSimHits, StageSimComputes int64
+	// StageRecords is the checkpoint store's live stage-artifact count,
+	// held apart from StoredRecords.
+	StageRecords int
 }
 
 // Stats snapshots the batcher's cache counters.
 func (b *Batcher) Stats() CacheStats {
 	hits, misses := b.eng.CacheStats()
+	ss := b.eng.StageStats()
 	cs := CacheStats{
 		MemoryHits:     hits,
 		MemoryMisses:   misses,
 		DiskHits:       b.eng.DiskHits(),
 		RemoteEvalHits: b.eng.RemoteHits(),
+
+		StageBuildHits: ss.BuildHits, StageBuildComputes: ss.BuildComputes,
+		StagePlaceHits: ss.PlaceHits, StagePlaceComputes: ss.PlaceComputes,
+		StageSimHits: ss.SimHits, StageSimComputes: ss.SimComputes,
 	}
 	if b.st != nil {
 		st := b.st.Stats()
@@ -256,6 +278,7 @@ func (b *Batcher) Stats() CacheStats {
 		cs.StoredRecords = st.Records
 		cs.StoredBytes = st.LogBytes
 		cs.CheckpointDir = b.st.Dir()
+		cs.StageRecords = st.StageRecords
 	}
 	return cs
 }
@@ -273,17 +296,25 @@ func (b *Batcher) RecordGet(key [32]byte) ([]byte, bool) {
 }
 
 // RecordPut admits a record payload computed elsewhere into the local
-// checkpoint store, after verifying it decodes as a stored record —
-// callers (the replication receiver) have already byte-verified the
+// checkpoint store, after verifying it decodes as a stored record — a
+// final result record, or a stage-framed pipeline artifact (the staged
+// pipeline replicates its intermediate artifacts over the same feed).
+// Callers (the replication receiver) have already byte-verified the
 // payload's digest, and this check makes even a digest-valid garbage
 // payload inadmissible. A batcher without a checkpoint accepts and
 // drops the record.
 func (b *Batcher) RecordPut(key [32]byte, payload []byte) error {
-	var r store.Record
-	dec := json.NewDecoder(bytes.NewReader(payload))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&r); err != nil {
-		return fmt.Errorf("magicstate: record payload does not decode: %w", err)
+	if _, _, isStage := store.StagePayload(payload); isStage {
+		if err := store.ValidateStagePayload(payload); err != nil {
+			return fmt.Errorf("magicstate: %w", err)
+		}
+	} else {
+		var r store.Record
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&r); err != nil {
+			return fmt.Errorf("magicstate: record payload does not decode: %w", err)
+		}
 	}
 	if b.st == nil {
 		return nil

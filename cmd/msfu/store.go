@@ -49,6 +49,10 @@ func storeCmd(args []string) int {
 
 	fmt.Printf("%s: %d index entries (%d bytes index, %d bytes log)\n",
 		dir, rep.Entries, rep.IndexBytes, rep.LogBytes)
+	if rep.StageRecords > 0 {
+		fmt.Printf("  records: %d final, %d stage artifacts\n",
+			rep.Valid-rep.StageRecords, rep.StageRecords)
+	}
 	if rep.Truncated {
 		fmt.Printf("  torn tail: %s\n", rep.Reason)
 		fmt.Printf("  valid prefix: %d of %d entries (%d bytes index, %d bytes log)\n",

@@ -163,8 +163,18 @@ func (m *metrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP msfud_cache_disk_hits_total Points served from the durable store.\n# TYPE msfud_cache_disk_hits_total counter\nmsfud_cache_disk_hits_total %d\n", cs.DiskHits)
 	fmt.Fprintf(w, "# HELP msfud_cache_peer_fetch_hits_total Points served by fetching a peer's record (subset of disk hits).\n# TYPE msfud_cache_peer_fetch_hits_total counter\nmsfud_cache_peer_fetch_hits_total %d\n", cs.PeerFetchHits)
 	fmt.Fprintf(w, "# HELP msfud_cache_remote_eval_hits_total Points computed by their owning peer on this node's behalf.\n# TYPE msfud_cache_remote_eval_hits_total counter\nmsfud_cache_remote_eval_hits_total %d\n", cs.RemoteEvalHits)
-	fmt.Fprintf(w, "# HELP msfud_store_records Live records in the durable store.\n# TYPE msfud_store_records gauge\nmsfud_store_records %d\n", cs.StoredRecords)
+	fmt.Fprintf(w, "# HELP msfud_store_records Live final records in the durable store.\n# TYPE msfud_store_records gauge\nmsfud_store_records %d\n", cs.StoredRecords)
 	fmt.Fprintf(w, "# HELP msfud_store_bytes Durable store log size in bytes.\n# TYPE msfud_store_bytes gauge\nmsfud_store_bytes %d\n", cs.StoredBytes)
+	fmt.Fprintf(w, "# HELP msfud_store_stage_records Live stage artifacts in the durable store.\n# TYPE msfud_store_stage_records gauge\nmsfud_store_stage_records %d\n", cs.StageRecords)
+
+	fmt.Fprintf(w, "# HELP msfud_cache_stage_hits_total Pipeline stage artifacts replayed from the durable store.\n# TYPE msfud_cache_stage_hits_total counter\n")
+	fmt.Fprintf(w, "msfud_cache_stage_hits_total{stage=\"build\"} %d\n", cs.StageBuildHits)
+	fmt.Fprintf(w, "msfud_cache_stage_hits_total{stage=\"place\"} %d\n", cs.StagePlaceHits)
+	fmt.Fprintf(w, "msfud_cache_stage_hits_total{stage=\"sim\"} %d\n", cs.StageSimHits)
+	fmt.Fprintf(w, "# HELP msfud_cache_stage_computes_total Pipeline stages actually executed.\n# TYPE msfud_cache_stage_computes_total counter\n")
+	fmt.Fprintf(w, "msfud_cache_stage_computes_total{stage=\"build\"} %d\n", cs.StageBuildComputes)
+	fmt.Fprintf(w, "msfud_cache_stage_computes_total{stage=\"place\"} %d\n", cs.StagePlaceComputes)
+	fmt.Fprintf(w, "msfud_cache_stage_computes_total{stage=\"sim\"} %d\n", cs.StageSimComputes)
 
 	m.writeFabric(w)
 

@@ -683,9 +683,13 @@ func TestStatsAndMetricsAgree(t *testing.T) {
 	}
 	stats := decode[struct {
 		Cache struct {
-			MemoryHits   int64 `json:"memory_hits"`
-			MemoryMisses int64 `json:"memory_misses"`
-			DiskHits     int64 `json:"disk_hits"`
+			MemoryHits         int64 `json:"memory_hits"`
+			MemoryMisses       int64 `json:"memory_misses"`
+			DiskHits           int64 `json:"disk_hits"`
+			StageBuildHits     int64 `json:"stage_build_hits"`
+			StageBuildComputes int64 `json:"stage_build_computes"`
+			StagePlaceComputes int64 `json:"stage_place_computes"`
+			StageSimComputes   int64 `json:"stage_sim_computes"`
 		} `json:"cache"`
 		Admission struct {
 			QueueRejected int64 `json:"queue_rejected"`
@@ -711,6 +715,26 @@ func TestStatsAndMetricsAgree(t *testing.T) {
 	}
 	if stats.Requests["200"] != 2 || stats.Requests["400"] != 1 {
 		t.Fatalf("request counts = %v, want 2x200 and 1x400", stats.Requests)
+	}
+	// The staged pipeline ran once (a computed point, no durable store
+	// on this server), and the labeled stage series agree with stats.
+	if stats.Cache.StageBuildComputes != 1 || stats.Cache.StagePlaceComputes != 1 || stats.Cache.StageSimComputes != 1 {
+		t.Fatalf("stage computes = %d/%d/%d, want 1/1/1 for one cold point",
+			stats.Cache.StageBuildComputes, stats.Cache.StagePlaceComputes, stats.Cache.StageSimComputes)
+	}
+	stageHits := scrapeMetricSeries(t, ts.URL, "msfud_cache_stage_hits_total")
+	stageComputes := scrapeMetricSeries(t, ts.URL, "msfud_cache_stage_computes_total")
+	if got := stageHits[`{stage="build"}`]; got != float64(stats.Cache.StageBuildHits) {
+		t.Errorf("stage build hits: /metrics %g, /v1/stats %d", got, stats.Cache.StageBuildHits)
+	}
+	for stage, want := range map[string]int64{
+		"build": stats.Cache.StageBuildComputes,
+		"place": stats.Cache.StagePlaceComputes,
+		"sim":   stats.Cache.StageSimComputes,
+	} {
+		if got := stageComputes[fmt.Sprintf("{stage=%q}", stage)]; got != float64(want) {
+			t.Errorf("stage %s computes: /metrics %g, /v1/stats %d", stage, got, want)
+		}
 	}
 	series := scrapeMetricSeries(t, ts.URL, "msfud_requests_total")
 	if got := series[`{path="/v1/optimize",code="200"}`]; got != 2 {

@@ -813,6 +813,16 @@ func (s *server) statsPayload() map[string]any {
 			"stored_records":   cs.StoredRecords,
 			"stored_bytes":     cs.StoredBytes,
 			"checkpoint_dir":   cs.CheckpointDir,
+			// Stage-tier traffic: artifacts replayed from the durable
+			// store (hits) vs pipeline stages actually executed
+			// (computes), per stage.
+			"stage_build_hits":     cs.StageBuildHits,
+			"stage_build_computes": cs.StageBuildComputes,
+			"stage_place_hits":     cs.StagePlaceHits,
+			"stage_place_computes": cs.StagePlaceComputes,
+			"stage_sim_hits":       cs.StageSimHits,
+			"stage_sim_computes":   cs.StageSimComputes,
+			"stage_records":        cs.StageRecords,
 		},
 		"jobs": map[string]any{
 			"in_flight": s.jobsInFlight(),

@@ -171,6 +171,11 @@ func main() {
 			stats := st.Stats()
 			fmt.Fprintf(os.Stderr, "checkpoint: %d from store, %d computed, %d records in %s\n",
 				eng.DiskHits(), stats.Puts, stats.Records, *checkpoint)
+			if ss := eng.StageStats(); ss.BuildHits+ss.BuildComputes+ss.PlaceHits+ss.PlaceComputes+ss.SimHits+ss.SimComputes > 0 {
+				fmt.Fprintf(os.Stderr, "stages: build %d reused / %d computed, place %d/%d, sim %d/%d (%d stage artifacts)\n",
+					ss.BuildHits, ss.BuildComputes, ss.PlaceHits, ss.PlaceComputes, ss.SimHits, ss.SimComputes,
+					stats.StageRecords)
+			}
 			if err := st.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}

@@ -9,7 +9,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/force"
@@ -123,108 +122,29 @@ func Run(cfg Config) (*Report, error) { return RunContext(context.Background(), 
 // deadline — stops costing compute at the next boundary instead of
 // running to completion. Cancellation returns ctx.Err(); partial work
 // is discarded, never reported.
+//
+// RunContext is the monolithic serial composition of the pipeline's
+// explicit stages (BuildStage, PlaceStage, SimStage, Assemble); caching
+// layers that replay individual stage artifacts (internal/sweep's stage
+// tier) reproduce this exact composition, which is what the
+// stage-equivalence harness pins byte-identical.
 func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	params := bravyi.Params{K: cfg.K, Levels: cfg.Levels, Reuse: cfg.Reuse, Barriers: !cfg.NoBarriers}
-	if err := params.Validate(); err != nil {
+	b, err := BuildStage(ctx, cfg)
+	if err != nil {
 		return nil, err
 	}
-	cm := cfg.Cost
-	if cm == (resource.CostModel{}) {
-		cm = resource.DefaultCost()
-	}
-	mcfg := mesh.Config{
-		Cost: cm, Mode: cfg.MeshMode, RouteMargin: cfg.RouteMargin,
-		Style: cfg.Style, Distance: cfg.Distance, RecordPaths: cfg.RecordPaths,
-	}
-
-	var f *bravyi.Factory
-	var pl *layout.Placement
-	var sim *mesh.Result
-	switch cfg.Strategy {
-	case StrategyStitch:
-		sopt := cfg.Stitch
-		sopt.Seed = cfg.Seed
-		sopt.Reuse = cfg.Reuse
-		sopt.NoBarriers = cfg.NoBarriers
-		res, err := stitch.Build(params, sopt)
-		if err != nil {
-			return nil, err
-		}
-		f, pl = res.Factory, res.Placement
-	default:
-		var err error
-		f, err = bravyi.Build(params)
-		if err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// place may already have simulated the winning candidate (the
-		// force-directed mapper evaluates candidates in simulation); a
-		// non-nil sim is reused instead of being recomputed below.
-		pl, sim, err = place(cfg, f, mcfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Placement (stitching included) is the dominant cost for annealed
-	// strategies, and the force-directed path arrives here with sim
-	// already in hand — so this boundary, not just the pre-simulation
-	// one, must notice an abandoned caller or the wasted result would
-	// still be reported (and cached by callers above).
-	if err := ctx.Err(); err != nil {
+	p, err := PlaceStage(ctx, cfg, b)
+	if err != nil {
 		return nil, err
 	}
-	if sim == nil {
-		var err error
-		sim, err = mesh.Simulate(f.Circuit, pl, mcfg)
-		if err != nil {
-			return nil, err
-		}
+	sim, err := SimStage(ctx, cfg, b, p)
+	if err != nil {
+		return nil, err
 	}
-	rep := &Report{
-		Config:          cfg,
-		Strategy:        cfg.Strategy.String(),
-		Latency:         sim.Latency,
-		Area:            sim.Area,
-		Volume:          float64(sim.Latency) * float64(sim.Area),
-		CriticalLatency: cm.CriticalPath(f.Circuit),
-		Stalls:          sim.Stalls,
-		Factory:         f,
-		Placement:       pl,
-		Sim:             sim,
-	}
-	rep.CriticalVolume = float64(rep.CriticalLatency) * float64(rep.Area)
-	if cfg.Levels >= 2 {
-		if perm, err := stitch.PermutationLatency(f, sim.Start, sim.End, 2); err == nil {
-			rep.PermLatency = perm
-		}
-	}
-	return rep, nil
-}
-
-// place maps the factory under every non-stitching strategy. When the
-// strategy already evaluated its winning candidate in simulation (force
-// directed), the simulation result is returned alongside the placement
-// so Run does not repeat it.
-func place(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement, *mesh.Result, error) {
-	switch cfg.Strategy {
-	case StrategyRandom:
-		return layout.Random(f.Circuit.NumQubits, rand.New(rand.NewSource(cfg.Seed))), nil, nil
-	case StrategyLinear:
-		return layout.Linear(f), nil, nil
-	case StrategyForceDirected:
-		return placeFD(cfg, f, mcfg)
-	case StrategyGraphPartition:
-		g := graph.FromCircuit(f.Circuit)
-		return partitionEmbed(g, cfg.Seed), nil, nil
-	}
-	return nil, nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	return Assemble(cfg, b, p, sim), nil
 }
 
 // fdKey identifies one force-directed candidate evaluation: everything

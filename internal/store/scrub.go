@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"magicstate/internal/core"
 )
 
 // ScrubReport is the outcome of an offline store verification.
@@ -19,10 +21,15 @@ type ScrubReport struct {
 	// in-range, and its payload passes the payload CRC.
 	Valid int
 	// BadRecords lists soft findings within the valid prefix: records
-	// whose payload does not decode as a Record, and duplicate keys.
+	// whose payload does not decode as a Record (or, for stage-framed
+	// payloads, under the stage's artifact codec), and duplicate keys.
 	// These never block reads (lookups decode-check anyway) but point
 	// at a writer bug or foreign data.
 	BadRecords []string
+	// StageRecords counts records within the valid prefix framed as
+	// stage artifacts (the staged pipeline's intermediate results);
+	// Valid - StageRecords are final result records.
+	StageRecords int
 	// Truncated reports whether the files hold data past the valid
 	// prefix — the condition -repair would (or did) truncate away.
 	Truncated bool
@@ -46,7 +53,8 @@ func (r *ScrubReport) Clean() bool {
 // live Store: it replays the index against the log exactly the way
 // recovery does (entry CRC, contiguity, range, payload CRC), then
 // applies softer checks within the valid prefix (payloads must decode
-// as Records; keys must be unique). With repair set, files holding data
+// as Records — or, when stage-framed, under their stage artifact codec
+// — and keys must be unique). With repair set, files holding data
 // past the valid prefix are truncated back to it — the same operation
 // the next Open would perform, done eagerly and reported.
 //
@@ -118,9 +126,16 @@ func Scrub(dir string, repair bool) (*ScrubReport, error) {
 			rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d: duplicate key %s", entryNo, k))
 		}
 		seen[k] = true
-		var r Record
-		if err := json.Unmarshal(payload, &r); err != nil {
-			rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d (%s): payload does not decode as a record: %v", entryNo, k, err))
+		if st, body, isStage := StagePayload(payload); isStage {
+			rep.StageRecords++
+			if err := core.ValidateStageArtifact(st, body); err != nil {
+				rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d (%s): stage %s payload does not decode: %v", entryNo, k, st, err))
+			}
+		} else {
+			var r Record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				rep.BadRecords = append(rep.BadRecords, fmt.Sprintf("entry %d (%s): payload does not decode as a record: %v", entryNo, k, err))
+			}
 		}
 		rep.Valid++
 		validLog = recOff + recLen

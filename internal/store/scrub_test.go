@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,6 +119,114 @@ func TestScrubFlagsUndecodablePayloads(t *testing.T) {
 	// CRC-valid but not a record: a soft finding, not a truncation.
 	if rep.Truncated || len(rep.BadRecords) != 1 {
 		t.Fatalf("scrub = %+v, want one bad record and no truncation", rep)
+	}
+}
+
+// TestScrubWalksStageRecords: scrub must tell stage records from final
+// ones, count them, and soft-flag a stage body that no longer decodes
+// under its stage codec — without truncating anything, since the frames
+// themselves are CRC-clean.
+func TestScrubWalksStageRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 3)
+	cfg := core.Config{K: 2, Levels: 1, Strategy: core.StrategyLinear}
+	b, err := core.BuildStage(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutStage(core.StageBuild, cfg, core.EncodeBuildArtifact(b)); err != nil {
+		t.Fatal(err)
+	}
+	// A stage frame whose body is garbage: CRC-valid on disk, so it is a
+	// writer bug, not corruption — a soft finding naming the stage.
+	rot := core.Config{K: 3, Levels: 1, Strategy: core.StrategyLinear}
+	if err := s.Put(StageKeyOf(core.StagePlace, rot), stageWrap(core.StagePlace, []byte("not a place artifact"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated || rep.Valid != 5 {
+		t.Fatalf("scrub = %+v, want 5 valid entries and no truncation", rep)
+	}
+	if rep.StageRecords != 2 {
+		t.Fatalf("StageRecords = %d, want 2", rep.StageRecords)
+	}
+	if len(rep.BadRecords) != 1 || !strings.Contains(rep.BadRecords[0], "stage place") {
+		t.Fatalf("BadRecords = %q, want one finding naming stage place", rep.BadRecords)
+	}
+}
+
+// TestScrubRepairsTornTailInsideStageArtifact: a crash mid-append can
+// tear the log inside a stage artifact's payload just as inside a JSON
+// record. Scrub must report the torn entry, repair must drop exactly
+// it, and the reopened store must miss on that stage and keep everything
+// before it.
+func TestScrubRepairsTornTailInsideStageArtifact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, 3)
+	cfg := core.Config{K: 2, Levels: 1, Strategy: core.StrategyLinear}
+	b, err := core.BuildStage(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutStage(core.StageBuild, cfg, core.EncodeBuildArtifact(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail a few bytes short: the cut lands inside the stage
+	// artifact payload, which was appended last.
+	logPath := filepath.Join(dir, logName)
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Valid != 3 || rep.StageRecords != 0 {
+		t.Fatalf("scrub of torn stage tail = %+v, want 3 valid finals and no stage records", rep)
+	}
+	if !strings.Contains(rep.Reason, "entry 3") {
+		t.Fatalf("reason %q does not name the torn entry", rep.Reason)
+	}
+	if rep, err = Scrub(dir, true); err != nil || !rep.Repaired {
+		t.Fatalf("repair scrub = %+v, %v", rep, err)
+	}
+	if rep, err = Scrub(dir, false); err != nil || !rep.Clean() || rep.Entries != 3 {
+		t.Fatalf("post-repair scrub = %+v, %v", rep, err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.GetStage(core.StageBuild, cfg); ok {
+		t.Fatal("torn stage artifact survived the repair")
+	}
+	if st := s.Stats(); st.Records != 3 || st.StageRecords != 0 {
+		t.Fatalf("post-repair stats = %+v, want 3 finals and no stage records", st)
 	}
 }
 

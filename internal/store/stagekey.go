@@ -1,0 +1,120 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"magicstate/internal/core"
+)
+
+// stageKeyFormatVersion is bumped whenever a stage's canonical encoding
+// below changes meaning — a field added to a stage's scope, removed
+// from it, or reinterpreted. Like keyFormatVersion, bumping it orphans
+// (never misreads) stage records written by older encodings.
+const stageKeyFormatVersion = 1
+
+// StageKeyOf returns the content address of cfg's artifact for one
+// pipeline stage. Where KeyOf digests every Config field (the final
+// result depends on all of them), a stage key digests exactly the
+// fields that stage consumes, so configs that differ only in
+// downstream axes share upstream artifacts:
+//
+//   - StageBuild (flat strategies): {K, Levels, Reuse, NoBarriers}.
+//     Every seed, style, cost model and mapper shares one factory.
+//   - StageBuild (stitching): the above plus Seed and the Stitch
+//     options — building and placing are one fused, seeded
+//     optimization there (the artifact carries the placement).
+//   - StagePlace: the build scope plus Strategy and what the mapper
+//     reads — Seed for the seeded mappers (Random, GP, FD), nothing
+//     extra for Linear, and for FD also the FD options and the mesh
+//     scope, because FD scores candidates in simulation.
+//   - StageSim: the place scope plus the mesh scope {Cost, MeshMode,
+//     RouteMargin, Style, Distance}.
+//
+// RecordPaths appears in no stage scope: it changes which diagnostics a
+// simulation retains, never its outcome, so it gates sim-stage
+// cacheability (StageCacheable) instead of aliasing keys. Likewise
+// FD.RestartWorkers stays excluded for the reason KeyOf documents.
+// TestStageKeyScopes pins the scope matrix field by field, and a
+// reflection guard ties it to the Config field set so a new field
+// cannot silently join (or miss) a stage's scope.
+func StageKeyOf(st core.Stage, cfg core.Config) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "magicstate/store stage/%s v%d\n", st, stageKeyFormatVersion)
+	switch st {
+	case core.StageBuild:
+		writeBuildScope(h, cfg)
+	case core.StagePlace:
+		writePlaceScope(h, cfg)
+	case core.StageSim:
+		writePlaceScope(h, cfg)
+		writeMeshScope(h, cfg)
+	default:
+		// An unknown stage must never alias a real one; digest the full
+		// config under the stage number so the key is still total.
+		fmt.Fprintf(h, "unknown=%d full=%s\n", int(st), KeyOf(cfg))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// writeBuildScope digests what the factory build consumes.
+func writeBuildScope(h io.Writer, cfg core.Config) {
+	fmt.Fprintf(h, "K=%d Levels=%d Reuse=%t NoBarriers=%t\n",
+		cfg.K, cfg.Levels, cfg.Reuse, cfg.NoBarriers)
+	if cfg.Strategy == core.StrategyStitch {
+		fmt.Fprintf(h, "kind=stitch Seed=%d\n", cfg.Seed)
+		fmt.Fprintf(h, "Stitch={Seed=%d Reuse=%t Hops=%d HopIters=%d DisablePortReassign=%t ExpandSpacing=%d NoBarriers=%t}\n",
+			cfg.Stitch.Seed, cfg.Stitch.Reuse, int(cfg.Stitch.Hops), cfg.Stitch.HopIters,
+			cfg.Stitch.DisablePortReassign, cfg.Stitch.ExpandSpacing, cfg.Stitch.NoBarriers)
+	} else {
+		fmt.Fprintf(h, "kind=bravyi\n")
+	}
+}
+
+// writePlaceScope digests what the mapper consumes: the build scope
+// (its input) plus the strategy and its own knobs.
+func writePlaceScope(h io.Writer, cfg core.Config) {
+	writeBuildScope(h, cfg)
+	fmt.Fprintf(h, "Strategy=%d\n", int(cfg.Strategy))
+	switch cfg.Strategy {
+	case core.StrategyRandom, core.StrategyGraphPartition:
+		fmt.Fprintf(h, "Seed=%d\n", cfg.Seed)
+	case core.StrategyForceDirected:
+		fmt.Fprintf(h, "Seed=%d\n", cfg.Seed)
+		// RestartWorkers excluded: concurrency cap, result-invariant.
+		fmt.Fprintf(h, "FD={Iterations=%d Seed=%d WAttract=%g WRepulse=%g WDipole=%g CostSample=%d MarginRows=%d DisableDipole=%t DisableCommunity=%t Restarts=%d}\n",
+			cfg.FD.Iterations, cfg.FD.Seed, cfg.FD.WAttract, cfg.FD.WRepulse, cfg.FD.WDipole,
+			cfg.FD.CostSample, cfg.FD.MarginRows, cfg.FD.DisableDipole, cfg.FD.DisableCommunity,
+			cfg.FD.Restarts)
+		// FD scores its candidates in simulation, so the simulator's
+		// configuration shapes which placement wins.
+		writeMeshScope(h, cfg)
+	}
+	// StrategyLinear is deterministic from the factory alone, and
+	// stitching's placement is fixed by its build scope.
+}
+
+// writeMeshScope digests what the simulator consumes beyond the circuit
+// and placement. RecordPaths is deliberately absent (see StageKeyOf).
+func writeMeshScope(h io.Writer, cfg core.Config) {
+	fmt.Fprintf(h, "Cost={Prep=%d H=%d Meas=%d CNOT=%d CXX=%d Inject=%d Move=%d}\n",
+		cfg.Cost.Prep, cfg.Cost.H, cfg.Cost.Meas, cfg.Cost.CNOT, cfg.Cost.CXX,
+		cfg.Cost.Inject, cfg.Cost.Move)
+	fmt.Fprintf(h, "MeshMode=%d RouteMargin=%d Style=%d Distance=%d\n",
+		int(cfg.MeshMode), cfg.RouteMargin, int(cfg.Style), cfg.Distance)
+}
+
+// StageCacheable reports whether cfg's artifact for the given stage can
+// be served from (and persisted to) the durable tier. Build and place
+// artifacts are lossless for every config. A sim artifact omits the
+// Paths/HoldEnd diagnostics, so configs that record them must always
+// resimulate — the same rule Cacheable applies to final records.
+func StageCacheable(st core.Stage, cfg core.Config) bool {
+	if st == core.StageSim {
+		return !cfg.RecordPaths
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"magicstate/internal/core"
+)
+
+// Stage records share the final-record store: same append-only log,
+// same index, same crash recovery and same peer fabric — a stage
+// artifact is just a payload filed under a stage-scoped key
+// (StageKeyOf). Two layers keep the kinds from ever mixing:
+//
+//   - Keys are domain-separated. A stage key's preimage starts
+//     "magicstate/store stage/..." where a final key's starts
+//     "magicstate/store v...", so the two can only collide by breaking
+//     SHA-256.
+//   - Payloads are framed. Every stage payload opens with
+//     stagePayloadMagic plus the stage byte, which no JSON record can
+//     start with, so scrubbing and admission checks can tell the kinds
+//     apart without consulting the key.
+
+// stagePayloadMagic opens every stage-artifact payload. The next byte
+// is the stage id (core.Stage), then the stage codec body.
+const stagePayloadMagic = "msstage/1:"
+
+// stageWrap frames a stage codec body as a store payload.
+func stageWrap(st core.Stage, body []byte) []byte {
+	p := make([]byte, 0, len(stagePayloadMagic)+1+len(body))
+	p = append(p, stagePayloadMagic...)
+	p = append(p, byte(st))
+	return append(p, body...)
+}
+
+// StagePayload recognizes a stage-record payload, returning its stage
+// id and codec body. ok=false means the payload is not stage-framed (a
+// final JSON record, or foreign data).
+func StagePayload(payload []byte) (st core.Stage, body []byte, ok bool) {
+	if len(payload) < len(stagePayloadMagic)+1 ||
+		string(payload[:len(stagePayloadMagic)]) != stagePayloadMagic {
+		return 0, nil, false
+	}
+	return core.Stage(payload[len(stagePayloadMagic)]), payload[len(stagePayloadMagic)+1:], true
+}
+
+// ValidateStagePayload checks a stage-framed payload end to end: known
+// framing, known stage, and a body that decodes under that stage's
+// codec. It is the admission gate for stage payloads arriving from
+// peers (replication, read-through).
+func ValidateStagePayload(payload []byte) error {
+	st, body, ok := StagePayload(payload)
+	if !ok {
+		return fmt.Errorf("store: payload is not stage-framed")
+	}
+	if err := core.ValidateStageArtifact(st, body); err != nil {
+		return fmt.Errorf("store: stage %s payload does not decode: %w", st, err)
+	}
+	return nil
+}
+
+// PutStage persists a stage artifact body under its stage-scoped key.
+// Like PutReport, uncacheable combinations are silently skipped so
+// callers can offer every artifact without gating.
+func (s *Store) PutStage(st core.Stage, cfg core.Config, body []byte) error {
+	if !StageCacheable(st, cfg) {
+		return nil
+	}
+	return s.Put(StageKeyOf(st, cfg), stageWrap(st, body))
+}
+
+// GetStage returns the stage artifact body stored for cfg, strictly
+// locally. A payload under the key that is not framed as this stage's
+// record is treated as a miss: the caller recomputes and the store
+// serves final records none the worse.
+func (s *Store) GetStage(st core.Stage, cfg core.Config) ([]byte, bool) {
+	if !StageCacheable(st, cfg) {
+		return nil, false
+	}
+	payload, ok := s.getStage(StageKeyOf(st, cfg))
+	if !ok {
+		return nil, false
+	}
+	gotSt, body, ok := StagePayload(payload)
+	if !ok || gotSt != st {
+		return nil, false
+	}
+	return body, true
+}
+
+// GetStageContext is GetStage with the read-through peer tier: on a
+// local miss it consults the fetcher installed by SetFetcher (stage
+// keys shard over the ring exactly like final keys), and a fetched
+// payload must frame-check AND decode under the stage codec before it
+// is admitted locally and served — the same decode-before-admit rule
+// final records follow, so a confused peer can cost a recompute but
+// never plant an artifact this node would later replay.
+func (s *Store) GetStageContext(ctx context.Context, st core.Stage, cfg core.Config) ([]byte, bool) {
+	if body, ok := s.GetStage(st, cfg); ok {
+		return body, true
+	}
+	if !StageCacheable(st, cfg) {
+		return nil, false
+	}
+	s.hookMu.RLock()
+	fetch := s.fetcher
+	s.hookMu.RUnlock()
+	if fetch == nil {
+		return nil, false
+	}
+	k := StageKeyOf(st, cfg)
+	payload, fetched := fetch(ctx, k)
+	if !fetched {
+		return nil, false
+	}
+	gotSt, body, ok := StagePayload(payload)
+	if !ok || gotSt != st {
+		return nil, false
+	}
+	if core.ValidateStageArtifact(st, body) != nil {
+		return nil, false
+	}
+	if err := s.Put(k, payload); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.peerHits++
+	s.mu.Unlock()
+	return body, true
+}

@@ -30,16 +30,29 @@ var ErrClosed = errors.New("store: closed")
 // Stats is a point-in-time snapshot of a store's counters, exposed to
 // callers (sweep engine stats, the msfud /v1/stats endpoint).
 type Stats struct {
-	// Hits and Misses count Get outcomes since Open.
+	// Hits and Misses count final-record Get outcomes since Open.
 	Hits, Misses int64
 	// PeerHits counts local misses served by the read-through fetcher
-	// (a peer's store) instead of recomputation.
+	// (a peer's store) instead of recomputation, stage and final alike.
 	PeerHits int64
-	// Puts counts records appended since Open (duplicates excluded).
+	// Puts counts final records appended since Open (duplicates
+	// excluded). Because every cacheable pipeline run persists exactly
+	// one final record, this doubles as the "points computed" count.
 	Puts int64
-	// Records is the live record count, recovered entries included.
+	// Records is the live final-record count, recovered entries
+	// included.
 	Records int
-	// LogBytes is the current size of the record log in bytes.
+	// StageHits and StageMisses count stage-artifact Get outcomes
+	// (GetStage and its peer-aware variant) since Open.
+	StageHits, StageMisses int64
+	// StagePuts counts stage-artifact records appended since Open
+	// (duplicates excluded).
+	StagePuts int64
+	// StageRecords is the live stage-artifact record count; Records +
+	// StageRecords is the total the log holds.
+	StageRecords int
+	// LogBytes is the current size of the record log in bytes, stage
+	// and final records together.
 	LogBytes int64
 }
 
@@ -82,6 +95,12 @@ type Store struct {
 
 	hits, misses, puts int64
 	peerHits           int64
+
+	// Stage-artifact traffic is counted apart from final records so
+	// "records stored" keeps meaning "pipeline points answered" for
+	// stats consumers, however many intermediate artifacts ride along.
+	stageHits, stageMisses, stagePuts int64
+	stageRecs                         int
 
 	// hookMu guards the two cluster hooks below, which are configured
 	// once at wiring time but read on every Put/lookup.
@@ -194,6 +213,9 @@ func (s *Store) recover() error {
 		copy(k[:], e[:32])
 		// Copy out of the big read buffer so the log bytes can be freed.
 		s.mem[k] = append([]byte(nil), payload...)
+		if _, _, isStage := StagePayload(payload); isStage {
+			s.stageRecs++
+		}
 		validEntries++
 		validLog = recOff + recLen
 	}
@@ -255,6 +277,21 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	return p, ok
 }
 
+// getStage is Get under a stage key: the same map lookup, counted on
+// the stage side of the stats ledger so final-record hit rates stay
+// meaningful.
+func (s *Store) getStage(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.mem[k]
+	if ok {
+		s.stageHits++
+	} else {
+		s.stageMisses++
+	}
+	return p, ok
+}
+
 // Put appends a record under k. A key already present is left untouched
 // (results are deterministic per key, so the first record is as good as
 // any) and Put returns nil. The payload is written to the log first and
@@ -305,7 +342,12 @@ func (s *Store) put(k Key, payload []byte) (fresh bool, err error) {
 	s.logLen += int64(len(payload))
 	s.idxLen += entrySize
 	s.mem[k] = append([]byte(nil), payload...)
-	s.puts++
+	if _, _, isStage := StagePayload(payload); isStage {
+		s.stagePuts++
+		s.stageRecs++
+	} else {
+		s.puts++
+	}
 	return true, nil
 }
 
@@ -322,7 +364,9 @@ func (s *Store) rollback() {
 	s.idxF.Seek(s.idxLen, io.SeekStart)
 }
 
-// Len reports the live record count.
+// Len reports the live record count, stage artifacts included. Callers
+// asking "how many pipeline points does this store answer" want
+// Stats().Records instead.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,7 +379,10 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Hits: s.hits, Misses: s.misses, PeerHits: s.peerHits, Puts: s.puts,
-		Records: len(s.mem), LogBytes: s.logLen,
+		Records:   len(s.mem) - s.stageRecs,
+		StageHits: s.stageHits, StageMisses: s.stageMisses, StagePuts: s.stagePuts,
+		StageRecords: s.stageRecs,
+		LogBytes:     s.logLen,
 	}
 }
 

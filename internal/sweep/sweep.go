@@ -49,6 +49,8 @@ type Engine struct {
 	progress   func(done, total int)
 	progMu     sync.Mutex
 	cache      *memo.Cache
+	stageCache *memo.Cache    // stage artifacts (see stages.go)
+	stage      *stageCounters // stage-tier traffic, shared via Derive
 	store      *store.Store
 	remote     func(ctx context.Context, cfg core.Config) (*core.Report, bool)
 	diskHits   *atomic.Int64 // shared by every engine Derive produces
@@ -65,6 +67,8 @@ func New(opts Options) *Engine {
 		workers:    w,
 		progress:   opts.Progress,
 		cache:      memo.New(opts.CacheLimit),
+		stageCache: memo.New(stageCacheLimit),
+		stage:      new(stageCounters),
 		store:      opts.Store,
 		remote:     opts.Remote,
 		diskHits:   new(atomic.Int64),
@@ -88,6 +92,8 @@ func (e *Engine) Derive(opts Options) *Engine {
 		workers:    w,
 		progress:   opts.Progress,
 		cache:      e.cache,
+		stageCache: e.stageCache,
+		stage:      e.stage,
 		store:      e.store,
 		remote:     e.remote,
 		diskHits:   e.diskHits,
@@ -168,7 +174,12 @@ func (e *Engine) RunOneContext(ctx context.Context, cfg core.Config) (*core.Repo
 				return rep, nil
 			}
 		}
-		rep, err := core.RunContext(ctx, cfg)
+		// A full miss computes through the stage tier: each pipeline
+		// stage resolved memory → disk → compute (see stages.go), so a
+		// point sharing upstream axes with earlier work replays the
+		// shared artifacts instead of recomputing them. The composition
+		// is byte-identical to core.RunContext.
+		rep, err := e.runStaged(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
