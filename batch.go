@@ -97,6 +97,26 @@ func optimizeOnContext(ctx context.Context, eng *sweep.Engine, spec FactorySpec,
 // optimizeConfig lowers a (spec, opts) pair to the core pipeline config
 // Optimize runs.
 func optimizeConfig(spec FactorySpec, opts Options) (core.Config, error) {
+	if opts.Workload != "" {
+		// A frontend workload fixes the circuit itself; the factory spec
+		// is not consulted (and need not validate). The stitching default
+		// never applies — it requires the built-in factory's rounds.
+		strat := core.Strategy(opts.Strategy)
+		if !opts.strategySet && opts.Strategy == RandomMapping {
+			strat = core.StrategyLinear
+		}
+		return core.Config{
+			NoBarriers:     opts.DisableBarriers,
+			Strategy:       strat,
+			Seed:           opts.Seed,
+			Style:          mesh.InteractionStyle(opts.Style),
+			Distance:       opts.Distance,
+			RecordPaths:    opts.Trace,
+			Workload:       opts.Workload,
+			WorkloadSource: opts.WorkloadSource,
+			Defects:        opts.Defects,
+		}, nil
+	}
 	p, err := spec.Params()
 	if err != nil {
 		return core.Config{}, err
@@ -119,5 +139,6 @@ func optimizeConfig(spec FactorySpec, opts Options) (core.Config, error) {
 		Style:       mesh.InteractionStyle(opts.Style),
 		Distance:    opts.Distance,
 		RecordPaths: opts.Trace,
+		Defects:     opts.Defects,
 	}, nil
 }

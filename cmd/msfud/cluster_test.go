@@ -426,10 +426,13 @@ func TestClusterReplicationToSuccessor(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	// The replica can land on the receiver an instant before the sender
-	// finishes reading the response and counts the send, so poll.
-	for peerSnap(t, nodes["ra"].fab, succ).ReplicationSent != 1 {
+	// finishes reading the response and counts the send, so poll. Stage
+	// records the owner also happens to own hash independently, so their
+	// replicas may ride along to the same successor — assert at least the
+	// final record's send, not an exact count.
+	for peerSnap(t, nodes["ra"].fab, succ).ReplicationSent < 1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("replication_sent to %s = %d, want 1",
+			t.Fatalf("replication_sent to %s = %d, want >= 1",
 				succ, peerSnap(t, nodes["ra"].fab, succ).ReplicationSent)
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -15,6 +15,7 @@ import (
 
 	"magicstate"
 	"magicstate/internal/fabric"
+	"magicstate/internal/presets"
 )
 
 // maxRequestBody bounds every /v1 JSON body. The largest legitimate
@@ -313,6 +314,13 @@ type optimizeRequest struct {
 	Style           string `json:"style,omitempty"`
 	Distance        int    `json:"distance,omitempty"`
 	DisableBarriers bool   `json:"disable_barriers,omitempty"`
+	// Workload/WorkloadSource swap the built-in factory for a frontend
+	// circuit ("qasm", "scaffold" or "random"; see Options.Workload);
+	// capacity/levels are ignored for workload points. Defects names
+	// fabrication-defective mesh tiles in the canonical "x,y;x,y" form.
+	Workload       string `json:"workload,omitempty"`
+	WorkloadSource string `json:"workload_source,omitempty"`
+	Defects        string `json:"defects,omitempty"`
 }
 
 // resultJSON is the wire form of magicstate.Result.
@@ -343,17 +351,29 @@ func resultToJSON(r *magicstate.Result) resultJSON {
 // answer 400, not 500.
 func (r optimizeRequest) point() (magicstate.BatchPoint, error) {
 	var pt magicstate.BatchPoint
-	pt.Spec = magicstate.FactorySpec{Capacity: r.Capacity, Levels: r.Levels, Reuse: r.Reuse}
-	if r.Levels == 0 {
-		pt.Spec.Levels = 1
-	}
-	if err := pt.Spec.Validate(); err != nil {
+	if r.Workload == "" {
+		pt.Spec = magicstate.FactorySpec{Capacity: r.Capacity, Levels: r.Levels, Reuse: r.Reuse}
+		if r.Levels == 0 {
+			pt.Spec.Levels = 1
+		}
+		if err := pt.Spec.Validate(); err != nil {
+			return pt, err
+		}
+	} else if err := magicstate.ValidateWorkload(r.Workload, r.WorkloadSource, r.Seed); err != nil {
 		return pt, err
+	}
+	if r.Defects != "" {
+		if err := magicstate.ValidateDefects(r.Defects); err != nil {
+			return pt, err
+		}
 	}
 	pt.Opts = magicstate.Options{
 		Seed:            r.Seed,
 		DisableBarriers: r.DisableBarriers,
 		Distance:        r.Distance,
+		Workload:        r.Workload,
+		WorkloadSource:  r.WorkloadSource,
+		Defects:         r.Defects,
 	}
 	if r.Style != "" {
 		style, err := magicstate.ParseStyle(r.Style)
@@ -372,13 +392,15 @@ func (r optimizeRequest) point() (magicstate.BatchPoint, error) {
 	return pt, nil
 }
 
-// batchRequest is the JSON body of /v1/batch: either an explicit points
-// list or a grid to expand (capacity-major, then strategy, then seed —
-// the order the CLIs print). Parallelism narrows the worker pool for
-// this request; it is clamped to the server's -parallel cap.
+// batchRequest is the JSON body of /v1/batch: an explicit points list,
+// a grid to expand (capacity-major, then strategy, then seed — the
+// order the CLIs print), or a named preset suite. Exactly one of the
+// three must be given. Parallelism narrows the worker pool for this
+// request; it is clamped to the server's -parallel cap.
 type batchRequest struct {
 	Points      []optimizeRequest `json:"points,omitempty"`
 	Grid        *gridSpec         `json:"grid,omitempty"`
+	Preset      string            `json:"preset,omitempty"`
 	Parallelism int               `json:"parallelism,omitempty"`
 }
 
@@ -397,6 +419,17 @@ type gridSpec struct {
 
 // expand flattens a batch request to points.
 func (b batchRequest) expand() ([]magicstate.BatchPoint, error) {
+	if b.Preset != "" {
+		if len(b.Points) > 0 || b.Grid != nil {
+			return nil, fmt.Errorf("give preset, points or grid, not a combination")
+		}
+		p, ok := presets.Get(b.Preset)
+		if !ok {
+			return nil, fmt.Errorf("unknown preset %q (available: %s)",
+				b.Preset, strings.Join(presets.Names(), ", "))
+		}
+		return p.Points, nil
+	}
 	reqs := b.Points
 	if b.Grid != nil {
 		if len(b.Points) > 0 {

@@ -109,6 +109,22 @@ func universe() []point {
 			add(capacity, 2, true, "hs", seed)
 		}
 	}
+	// Frontend workload points: seeded random circuits of a few shapes,
+	// one on a defective mesh, so the soak also exercises the workload
+	// build path and defect-aware routing end to end.
+	addWorkload := func(source, defects string, seed int64) {
+		body := map[string]any{"workload": "random", "workload_source": source, "seed": seed}
+		opts := magicstate.Options{Seed: seed, Workload: "random", WorkloadSource: source}
+		if defects != "" {
+			body["defects"] = defects
+			opts.Defects = defects
+		}
+		pts = append(pts, point{body: body, opts: opts})
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		addWorkload("q=6;layers=8;cx=0.5;t=0.2", "", seed)
+		addWorkload("q=9;layers=6;cx=0.4;t=0.3", "1,0", seed)
+	}
 	return pts
 }
 

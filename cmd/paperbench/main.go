@@ -4,14 +4,16 @@
 // Usage:
 //
 //	paperbench [-seed N] [-quick] [-parallel N] [-progress] [-checkpoint DIR] [artifact ...]
+//	paperbench preset NAME [-parallel N] [-checkpoint DIR]   # run a named sweep suite
 //	paperbench -bench FILE        # machine-readable perf snapshot, then exit
 //	paperbench -cpuprofile FILE [-memprofile FILE] [artifact ...]
 //
 // Artifacts: fig6 fig7a fig7b fig9ab fig9d fig10a fig10b table1 all
 // (fig10a covers the single-level panels 10a/10b/10e; fig10b the
 // two-level panels 10c/10d/10f). The extension artifacts ext-styles,
-// ext-area, ext-protocols, ext-yield and ext-stitchgen cover the §IX
-// future-work and §III related-work studies; `ext` runs all of them.
+// ext-area, ext-protocols, ext-yield, ext-stitchgen and ext-defects
+// cover the §IX future-work and §III related-work studies; `ext` runs
+// all of them.
 // -quick shrinks the capacity sweeps so a full pass finishes in well
 // under a minute.
 //
@@ -143,6 +145,23 @@ func main() {
 		return
 	}
 
+	// `paperbench preset <name>` runs a named sweep suite and prints one
+	// JSON result per line — the same points and bytes msfud's
+	// /v1/batch {"preset": ...} reports. Handled before the engine and
+	// checkpoint store come up: the preset runner owns its own batcher
+	// (and store handle, which allows one writer per directory).
+	if len(artifacts) > 0 && artifacts[0] == "preset" {
+		if len(artifacts) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: paperbench preset <name> [-parallel N] [-checkpoint DIR]")
+			exitWith(2)
+		}
+		if err := runPreset(artifacts[1], *parallel, *checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitWith(1)
+		}
+		return
+	}
+
 	var artifact atomic.Value // name of the artifact currently sweeping
 	artifact.Store("")
 	var progressFn func(done, total int)
@@ -208,7 +227,7 @@ func main() {
 	for _, a := range []string{
 		"fig6", "fig7a", "fig7b", "fig9ab", "fig9d", "fig10a", "fig10b", "table1",
 		"ext-styles", "ext-area", "ext-protocols", "ext-yield", "ext-stitchgen",
-		"ext-bk15", "ext-l3", "ext-sched",
+		"ext-bk15", "ext-l3", "ext-sched", "ext-defects",
 	} {
 		known[a] = true
 	}
@@ -436,6 +455,21 @@ func main() {
 			return err
 		}
 		experiments.WriteThreeLevel(os.Stdout, 2, rows)
+		return nil
+	})
+	extRun("ext-defects", func() error {
+		rates := []float64{0, 0.02, 0.05, 0.1}
+		rows, err := experiments.DefectImpact(4, 1, rates, *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteDefectImpact(os.Stdout, 4, 1, rows)
+		var csv [][]string
+		for _, r := range rows {
+			csv = append(csv, []string{fmt.Sprintf("%.2f", r.Rate), fmt.Sprint(r.DefectTiles),
+				fmt.Sprint(r.Latency), fmt.Sprint(r.Area), fmt.Sprint(r.Stalls), r.Defects})
+		}
+		writeCSV("ext_defects.csv", []string{"rate", "dead_tiles", "latency", "area", "stalls", "map"}, csv)
 		return nil
 	})
 	extRun("ext-sched", func() error {

@@ -88,6 +88,21 @@ type Config struct {
 	// Stitch carries hierarchical stitching overrides; Reuse and Seed are
 	// taken from this Config.
 	Stitch stitch.Options
+	// Workload selects an alternative circuit frontend. Empty (the
+	// default) builds the paper's Bravyi-Haah factory from K/Levels;
+	// "qasm" and "scaffold" compile WorkloadSource as program text;
+	// "random" generates a seeded layered circuit from a workload.Spec
+	// string. Frontend workloads carry no round structure, so
+	// StrategyStitch rejects them.
+	Workload string
+	// WorkloadSource is the frontend input: program source for
+	// qasm/scaffold, the canonical workload spec for random.
+	WorkloadSource string
+	// Defects names defective tiles of a heterogeneous mesh in the
+	// canonical layout.DefectMap codec ("x,y;x,y" row-major). Defective
+	// tiles host no qubits (placements relocate around them) and the
+	// router treats their region as permanently blocked.
+	Defects string
 }
 
 // Report is the outcome of a run.
@@ -155,9 +170,12 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 type fdKey struct {
 	K, Levels       int
 	Reuse, Barriers bool
-	Mesh            mesh.Config
-	Seed            int64
-	FD              force.Options
+	// Workload and WorkloadSource pin the circuit for frontend
+	// workloads, where K/Levels are zero and say nothing about it.
+	Workload, WorkloadSource string
+	Mesh                     mesh.Config
+	Seed                     int64
+	FD                       force.Options
 }
 
 // fdChoice is the memoized outcome: the winning placement and its
@@ -194,12 +212,27 @@ func placeFD(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement
 	opt.Seed = cfg.Seed
 	key := fdKey{
 		K: cfg.K, Levels: cfg.Levels, Reuse: cfg.Reuse, Barriers: !cfg.NoBarriers,
+		Workload: cfg.Workload, WorkloadSource: cfg.WorkloadSource,
 		Mesh: mcfg, Seed: cfg.Seed, FD: opt,
 	}
 	v, err := fdMemo.Do(key, func() (any, error) {
+		dm, err := layout.ParseDefects(mcfg.Defects)
+		if err != nil {
+			return nil, err
+		}
 		g := graph.FromCircuit(f.Circuit)
-		init := layout.Linear(f)
+		init := initialPlacement(f)
+		if err := layout.AvoidDefects(init, dm); err != nil {
+			return nil, err
+		}
 		annealed := fdAnnealer.Anneal(g, f.Circuit, init, opt)
+		// The annealer knows nothing about defects; pull any qubit it
+		// parked on a dead tile back onto healthy ground before the
+		// candidates are scored, so the memoized simulation always
+		// matches the placement it is stored with.
+		if err := layout.AvoidDefects(annealed, dm); err != nil {
+			return nil, err
+		}
 		// Both candidates are evaluated on one reusable simulator: the
 		// second run reuses the first's arenas and cached dependency DAG
 		// (same circuit), paying only for the Result it returns.

@@ -7,11 +7,15 @@ import (
 	"sync/atomic"
 
 	"magicstate/internal/bravyi"
+	"magicstate/internal/circuit"
 	"magicstate/internal/graph"
 	"magicstate/internal/layout"
 	"magicstate/internal/mesh"
+	"magicstate/internal/qasm"
 	"magicstate/internal/resource"
+	"magicstate/internal/scaffold"
 	"magicstate/internal/stitch"
+	"magicstate/internal/workload"
 )
 
 // Stage identifies one cacheable slice of the pipeline. The pipeline is
@@ -90,15 +94,30 @@ func MeshConfigOf(cfg Config) mesh.Config {
 	return mesh.Config{
 		Cost: CostModelOf(cfg), Mode: cfg.MeshMode, RouteMargin: cfg.RouteMargin,
 		Style: cfg.Style, Distance: cfg.Distance, RecordPaths: cfg.RecordPaths,
+		Defects: cfg.Defects,
 	}
 }
 
 // BuildStage runs the factory/circuit build stage: parameter validation
 // plus bravyi.Build, or stitch.Build for StrategyStitch (whose result
-// carries the placement too, making StagePlace a pass-through).
+// carries the placement too, making StagePlace a pass-through). A
+// frontend workload (qasm import, scaffold compile, random generation)
+// replaces the factory build entirely: the compiled circuit is wrapped
+// in a synthetic round-less factory the placement and simulation stages
+// consume unchanged.
 func BuildStage(ctx context.Context, cfg Config) (*BuildArtifact, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.Workload != "" {
+		if cfg.Strategy == StrategyStitch {
+			return nil, fmt.Errorf("core: hierarchical stitching needs the built-in factory's round structure; workload %q has none", cfg.Workload)
+		}
+		c, err := buildWorkloadCircuit(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &BuildArtifact{Factory: &bravyi.Factory{Circuit: c}}, nil
 	}
 	params := bravyi.Params{K: cfg.K, Levels: cfg.Levels, Reuse: cfg.Reuse, Barriers: !cfg.NoBarriers}
 	if err := params.Validate(); err != nil {
@@ -124,18 +143,40 @@ func BuildStage(ctx context.Context, cfg Config) (*BuildArtifact, error) {
 
 // PlaceStage runs the placement stage on a build artifact. For
 // stitching the placement was fixed by the build; every other strategy
-// maps here. The context check at entry is the pipeline's
-// post-build cancellation boundary.
+// maps here. On a defective mesh, any qubit a mapper put on a dead tile
+// is deterministically relocated to the nearest healthy one — for
+// stitch the shared build artifact is cloned first, since artifacts are
+// read-only across cache tiers. The context check at entry is the
+// pipeline's post-build cancellation boundary.
 func PlaceStage(ctx context.Context, cfg Config, b *BuildArtifact) (*PlaceArtifact, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	dm, err := layout.ParseDefects(cfg.Defects)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if cfg.Strategy == StrategyStitch {
-		return &PlaceArtifact{Placement: b.Placement}, nil
+		pl := b.Placement
+		if dm.Len() > 0 {
+			pl = pl.Clone()
+			if err := layout.AvoidDefects(pl, dm); err != nil {
+				return nil, err
+			}
+		}
+		return &PlaceArtifact{Placement: pl}, nil
 	}
 	pl, sim, err := place(cfg, b.Factory, MeshConfigOf(cfg))
 	if err != nil {
 		return nil, err
+	}
+	// The force-directed mapper relocates inside its own (memoized)
+	// candidate evaluation so its simulation matches its placement;
+	// every other mapper returns a fresh placement we fix up here.
+	if cfg.Strategy != StrategyForceDirected {
+		if err := layout.AvoidDefects(pl, dm); err != nil {
+			return nil, err
+		}
 	}
 	return &PlaceArtifact{Placement: pl, Sim: sim}, nil
 }
@@ -206,7 +247,7 @@ func place(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement, 
 	case StrategyRandom:
 		return layout.Random(f.Circuit.NumQubits, rand.New(rand.NewSource(cfg.Seed))), nil, nil
 	case StrategyLinear:
-		return layout.Linear(f), nil, nil
+		return initialPlacement(f), nil, nil
 	case StrategyForceDirected:
 		return placeFD(cfg, f, mcfg)
 	case StrategyGraphPartition:
@@ -214,4 +255,44 @@ func place(cfg Config, f *bravyi.Factory, mcfg mesh.Config) (*layout.Placement, 
 		return partitionEmbed(g, cfg.Seed), nil, nil
 	}
 	return nil, nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+}
+
+// initialPlacement is the "linear" starting point for a factory: the
+// hand-optimized single-row mapping when the factory has round
+// structure, a row-major near-square grid for the synthetic round-less
+// factories frontend workloads build (layout.Linear walks rounds and
+// would place nothing).
+func initialPlacement(f *bravyi.Factory) *layout.Placement {
+	if len(f.Rounds) > 0 {
+		return layout.Linear(f)
+	}
+	n := f.Circuit.NumQubits
+	w, _ := layout.GridFor(n, 1)
+	p := layout.NewPlacement(n, w, (n+w-1)/w)
+	for q, pt := range layout.RowMajorTiles(n, w) {
+		p.Set(q, pt)
+	}
+	return p
+}
+
+// buildWorkloadCircuit dispatches cfg.Workload to its frontend.
+func buildWorkloadCircuit(cfg Config) (*circuit.Circuit, error) {
+	return CompileWorkload(cfg.Workload, cfg.WorkloadSource, cfg.Seed)
+}
+
+// CompileWorkload compiles a frontend workload input to a validated
+// circuit. Every frontend validates its circuit before returning it, so
+// callers get a well-formed circuit or a structured error — this is the
+// boundary the HTTP and CLI surfaces call to reject bad inputs up
+// front, before any pipeline compute is admitted.
+func CompileWorkload(kind, source string, seed int64) (*circuit.Circuit, error) {
+	switch kind {
+	case "qasm":
+		return qasm.Compile(source)
+	case "scaffold":
+		return scaffold.Compile(source)
+	case "random":
+		return workload.GenerateString(source, seed)
+	}
+	return nil, fmt.Errorf("core: unknown workload %q (want qasm, scaffold or random)", kind)
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"magicstate/internal/bravyi"
+	"magicstate/internal/core"
+	"magicstate/internal/layout"
+	"magicstate/internal/stats"
+	"magicstate/internal/sweep"
+)
+
+// DefectRow is one defect rate of the heterogeneous-mesh study: a fixed
+// factory simulated on meshes with a growing fraction of fabrication-
+// defective tiles. Qubits are relocated off dead tiles and braids
+// detour around the dead regions, so latency (and, once relocation has
+// to add rows, area) measures the price of imperfect yield at the
+// mesh level rather than the distillation level.
+type DefectRow struct {
+	// Rate is the per-tile defect probability the map was sampled at.
+	Rate float64
+	// DefectTiles is the sampled defect count (rate x grid, realized).
+	DefectTiles int
+	// Defects is the canonical map, so a row is exactly reproducible.
+	Defects string
+	// Latency, Area, Stalls are the simulated outcome on that mesh.
+	Latency int
+	Area    int
+	Stalls  int
+}
+
+// DefectImpact simulates one factory across sampled per-tile defect
+// maps of increasing rate. Maps are sampled over the factory's own
+// placement grid with SplitRNG(seed, rate index), so the study is
+// deterministic per seed and each rate's map is independent; every
+// pipeline run goes through the sweep engine and caches like any other
+// grid point (the defect map is part of the stage keys).
+func DefectImpact(k, levels int, rates []float64, seed int64) ([]DefectRow, error) {
+	f, err := bravyi.Build(bravyi.Params{K: k, Levels: levels, Barriers: true})
+	if err != nil {
+		return nil, err
+	}
+	grid := layout.Linear(f)
+	w, h := grid.W, grid.H
+	type point struct {
+		rate    float64
+		defects string
+	}
+	pts := make([]point, len(rates))
+	for i, rate := range rates {
+		dm := layout.SampleDefects(w, h, rate, stats.SplitRNG(seed, int64(i)))
+		pts[i] = point{rate: rate, defects: dm.String()}
+	}
+	return sweep.Map(context.Background(), Engine(), pts, func(_ int, pt point) (DefectRow, error) {
+		rep, err := Engine().RunOne(core.Config{
+			K: k, Levels: levels, Strategy: core.StrategyLinear, Seed: seed,
+			Defects: pt.defects,
+		})
+		if err != nil {
+			return DefectRow{}, fmt.Errorf("defects rate=%.2f map=%q: %w", pt.rate, pt.defects, err)
+		}
+		dm, err := layout.ParseDefects(pt.defects)
+		if err != nil {
+			return DefectRow{}, err
+		}
+		return DefectRow{
+			Rate: pt.rate, DefectTiles: dm.Len(), Defects: pt.defects,
+			Latency: rep.Latency, Area: rep.Area, Stalls: rep.Stalls,
+		}, nil
+	})
+}
+
+// WriteDefectImpact renders the heterogeneous-mesh study.
+func WriteDefectImpact(w io.Writer, k, levels int, rows []DefectRow) {
+	fmt.Fprintf(w, "Defective-mesh impact — K=%d level %d factory, linear mapping\n", k, levels)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "rate\tdead tiles\tlatency\tarea\tstalls\tmap")
+	for _, r := range rows {
+		m := r.Defects
+		if m == "" {
+			m = "(pristine)"
+		}
+		fmt.Fprintf(tw, "%.2f\t%d\t%d\t%d\t%d\t%s\n",
+			r.Rate, r.DefectTiles, r.Latency, r.Area, r.Stalls, m)
+	}
+	tw.Flush()
+}

@@ -51,6 +51,12 @@ func renderAll(t *testing.T, seed int64) []byte {
 	}
 	WriteTable1(&buf, t1)
 
+	di, err := DefectImpact(4, 1, []float64{0, 0.05}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteDefectImpact(&buf, 4, 1, di)
+
 	return buf.Bytes()
 }
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestYieldNonContiguousKs pins the row-assembly indexing: the sweep
+// flattens (k, variant) pairs as runs[i*variants+v], where i is the
+// position of k in ks — not k itself. A non-contiguous ks slice catches
+// any regression to k-based indexing: each row of the combined run must
+// equal the row of a single-k run of the same factory.
+func TestYieldNonContiguousKs(t *testing.T) {
+	const (
+		levels = 1
+		trials = 64
+		seed   = 11
+	)
+	ks := []int{2, 6}
+	combined, err := Yield(ks, levels, trials, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != len(ks) {
+		t.Fatalf("rows = %d, want %d", len(combined), len(ks))
+	}
+	for i, k := range ks {
+		solo, err := Yield([]int{k}, levels, trials, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if combined[i].K != k {
+			t.Fatalf("row %d has K = %d, want %d", i, combined[i].K, k)
+		}
+		if !reflect.DeepEqual(combined[i], solo[0]) {
+			t.Errorf("row for k=%d differs between combined and solo runs:\ncombined: %+v\nsolo:     %+v", k, combined[i], solo[0])
+		}
+	}
+}

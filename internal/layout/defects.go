@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefectMap is a set of defective (fabrication-failed) tiles on the
+// logical grid. A defective tile can neither host a qubit nor expose
+// braid ports; the mesh router must route around the dead region.
+//
+// The map has a canonical string codec ("x,y;x,y;..." sorted row-major,
+// deduplicated) so configurations carrying a defect map stay
+// content-addressable: two configs with the same physical defect set
+// always hash to the same store key regardless of how the set was
+// written down.
+type DefectMap struct {
+	tiles []Point // sorted row-major (y, then x), deduplicated
+	set   map[Point]struct{}
+}
+
+// ParseDefects parses a defect-map string: semicolon-separated "x,y"
+// tile coordinates, in any order, duplicates allowed. The empty string
+// parses to a nil map (no defects). Coordinates must be non-negative;
+// bounds against a concrete grid are checked where the map is applied.
+func ParseDefects(s string) (*DefectMap, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	set := make(map[Point]struct{})
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("layout: defect map %q has an empty entry", s)
+		}
+		xs, ys, ok := strings.Cut(part, ",")
+		if !ok {
+			return nil, fmt.Errorf("layout: defect entry %q is not of the form x,y", part)
+		}
+		x, err := strconv.Atoi(strings.TrimSpace(xs))
+		if err != nil {
+			return nil, fmt.Errorf("layout: defect entry %q: bad x coordinate: %v", part, err)
+		}
+		y, err := strconv.Atoi(strings.TrimSpace(ys))
+		if err != nil {
+			return nil, fmt.Errorf("layout: defect entry %q: bad y coordinate: %v", part, err)
+		}
+		if x < 0 || y < 0 {
+			return nil, fmt.Errorf("layout: defect entry %q has negative coordinates", part)
+		}
+		set[Point{x, y}] = struct{}{}
+	}
+	tiles := make([]Point, 0, len(set))
+	for pt := range set {
+		tiles = append(tiles, pt)
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i].Y != tiles[j].Y {
+			return tiles[i].Y < tiles[j].Y
+		}
+		return tiles[i].X < tiles[j].X
+	})
+	return &DefectMap{tiles: tiles, set: set}, nil
+}
+
+// String returns the canonical codec form: tiles sorted row-major,
+// "x,y" joined by ";". A nil or empty map renders as "".
+func (dm *DefectMap) String() string {
+	if dm == nil || len(dm.tiles) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, pt := range dm.tiles {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.Itoa(pt.X))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(pt.Y))
+	}
+	return b.String()
+}
+
+// Has reports whether tile pt is defective. Safe on a nil map.
+func (dm *DefectMap) Has(pt Point) bool {
+	if dm == nil {
+		return false
+	}
+	_, bad := dm.set[pt]
+	return bad
+}
+
+// Len returns the number of defective tiles. Safe on a nil map.
+func (dm *DefectMap) Len() int {
+	if dm == nil {
+		return 0
+	}
+	return len(dm.tiles)
+}
+
+// Tiles returns the defective tiles in canonical row-major order. The
+// returned slice is shared and must not be modified.
+func (dm *DefectMap) Tiles() []Point {
+	if dm == nil {
+		return nil
+	}
+	return dm.tiles
+}
+
+// SampleDefects draws a per-tile defect map over a w x h grid: each tile
+// independently fails with the given probability. The draw order is
+// row-major, so the same rng state always yields the same map — callers
+// wanting reproducibility pass a seeded source (e.g. stats.SplitRNG).
+func SampleDefects(w, h int, rate float64, rng *rand.Rand) *DefectMap {
+	if rate <= 0 || w <= 0 || h <= 0 {
+		return nil
+	}
+	set := make(map[Point]struct{})
+	var tiles []Point
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if rng.Float64() < rate {
+				pt := Point{x, y}
+				set[pt] = struct{}{}
+				tiles = append(tiles, pt)
+			}
+		}
+	}
+	if len(tiles) == 0 {
+		return nil
+	}
+	return &DefectMap{tiles: tiles, set: set}
+}
+
+// AvoidDefects relocates any qubit placed on a defective tile to the
+// nearest free healthy tile (Manhattan distance, row-major tie-break),
+// processing qubits in increasing id order so the result is fully
+// deterministic. Exact-fit placements (the linear mapping's single row)
+// have no spare tiles, so when the grid runs out of healthy capacity it
+// grows by whole rows — deterministically — until a displaced qubit
+// fits. It mutates p in place.
+func AvoidDefects(p *Placement, dm *DefectMap) error {
+	if dm.Len() == 0 {
+		return nil
+	}
+	if p.W <= 0 {
+		return fmt.Errorf("layout: cannot relocate around defects on a %dx%d grid", p.W, p.H)
+	}
+	occ := p.Occupied()
+	for q, pt := range p.Pos {
+		if pt == Unplaced || !dm.Has(pt) {
+			continue
+		}
+		delete(occ, pt)
+		best := Unplaced
+		bestDist := 1 << 30
+		for grown := 0; ; grown++ {
+			for y := 0; y < p.H; y++ {
+				for x := 0; x < p.W; x++ {
+					cand := Point{x, y}
+					if dm.Has(cand) {
+						continue
+					}
+					if _, used := occ[cand]; used {
+						continue
+					}
+					if d := Manhattan(pt, cand); d < bestDist {
+						best, bestDist = cand, d
+					}
+				}
+			}
+			if best != Unplaced {
+				break
+			}
+			// Every added row is fully free, so growth succeeds once it
+			// clears any defect rows the map names beyond the grid.
+			if grown > dm.Len()+1 {
+				return fmt.Errorf("layout: no healthy tile for qubit %d on a %dx%d grid with %d defects", q, p.W, p.H, dm.Len())
+			}
+			p.H++
+		}
+		p.Pos[q] = best
+		occ[best] = q
+	}
+	return nil
+}

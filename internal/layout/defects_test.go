@@ -1,0 +1,163 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"magicstate/internal/stats"
+)
+
+// TestParseDefectsCanonical pins the codec contract: any spelling of
+// the same physical defect set — reordered, duplicated, whitespace —
+// canonicalizes to one string, so configs carrying the map stay
+// content-addressable.
+func TestParseDefectsCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"  ", ""},
+		{"3,1", "3,1"},
+		{"3,1;0,0;2,1", "0,0;2,1;3,1"},
+		{"1,0;1,0;1,0", "1,0"},
+		{" 2 , 0 ; 1 , 0 ", "1,0;2,0"},
+		{"0,2;5,0;0,1", "5,0;0,1;0,2"}, // sorted Y then X
+	}
+	for _, tc := range cases {
+		dm, err := ParseDefects(tc.in)
+		if err != nil {
+			t.Fatalf("ParseDefects(%q): %v", tc.in, err)
+		}
+		if got := dm.String(); got != tc.want {
+			t.Errorf("ParseDefects(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		// Canonical forms are fixed points.
+		dm2, err := ParseDefects(dm.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", dm.String(), err)
+		}
+		if dm2.String() != dm.String() {
+			t.Errorf("canonical form %q is not a fixed point", dm.String())
+		}
+	}
+}
+
+func TestParseDefectsErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{";", "empty entry"},
+		{"1,0;;2,0", "empty entry"},
+		{"1", "not of the form"},
+		{"a,0", "bad x"},
+		{"0,b", "bad y"},
+		{"-1,0", "negative"},
+		{"0,-2", "negative"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDefects(tc.in); err == nil {
+			t.Errorf("ParseDefects(%q) accepted", tc.in)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseDefects(%q) error %q does not mention %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestDefectMapNilSafe(t *testing.T) {
+	var dm *DefectMap
+	if dm.Has(Point{0, 0}) || dm.Len() != 0 || dm.String() != "" || dm.Tiles() != nil {
+		t.Fatal("nil DefectMap must behave as the empty map")
+	}
+}
+
+func TestSampleDefectsDeterministic(t *testing.T) {
+	a := SampleDefects(12, 4, 0.2, stats.SplitRNG(99, 0))
+	b := SampleDefects(12, 4, 0.2, stats.SplitRNG(99, 0))
+	if a.String() != b.String() {
+		t.Fatalf("same seed sampled different maps: %q vs %q", a, b)
+	}
+	if a.Len() == 0 {
+		t.Fatal("rate 0.2 over 48 tiles sampled no defects — suspicious seed stream")
+	}
+	if SampleDefects(12, 4, 0, stats.SplitRNG(99, 0)) != nil {
+		t.Fatal("rate 0 must sample the nil map")
+	}
+	c := SampleDefects(12, 4, 0.2, stats.SplitRNG(100, 0))
+	if a.String() == c.String() {
+		t.Fatal("different seeds sampled identical maps")
+	}
+}
+
+func TestAvoidDefectsRelocates(t *testing.T) {
+	// A 3x2 grid with qubit 0 on the defective tile (1,0); the nearest
+	// free healthy tile is (0,0)... but it's occupied by qubit 1, so the
+	// relocation must pick among the free ones: (2,0) and row 1, with
+	// (2,0) at distance 1 winning.
+	p := NewPlacement(2, 3, 2)
+	p.Pos[0] = Point{1, 0}
+	p.Pos[1] = Point{0, 0}
+	dm, err := ParseDefects("1,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AvoidDefects(p, dm); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pos[0] != (Point{2, 0}) {
+		t.Fatalf("qubit 0 relocated to %v, want (2,0)", p.Pos[0])
+	}
+	if p.Pos[1] != (Point{0, 0}) {
+		t.Fatalf("healthy qubit 1 moved to %v", p.Pos[1])
+	}
+}
+
+func TestAvoidDefectsGrowsExactFit(t *testing.T) {
+	// Exact fit: a 2x1 grid with both tiles occupied and one defective.
+	// There is no spare healthy tile, so relocation must add a row.
+	p := NewPlacement(2, 2, 1)
+	p.Pos[0] = Point{0, 0}
+	p.Pos[1] = Point{1, 0}
+	dm, err := ParseDefects("1,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AvoidDefects(p, dm); err != nil {
+		t.Fatal(err)
+	}
+	if p.H < 2 {
+		t.Fatalf("grid height = %d, want growth past 1", p.H)
+	}
+	if dm.Has(p.Pos[1]) {
+		t.Fatalf("qubit 1 still on defective tile %v", p.Pos[1])
+	}
+	if p.Pos[0] == p.Pos[1] {
+		t.Fatal("relocation stacked two qubits on one tile")
+	}
+}
+
+func TestAvoidDefectsZeroWidth(t *testing.T) {
+	p := NewPlacement(1, 0, 0)
+	dm, err := ParseDefects("0,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AvoidDefects(p, dm); err == nil {
+		t.Fatal("zero-width grid must be rejected")
+	}
+}
+
+func FuzzParseDefects(f *testing.F) {
+	f.Add("1,0;3,0")
+	f.Add("0,0")
+	f.Add(" 2 , 3 ; 2 , 3 ")
+	f.Fuzz(func(t *testing.T, s string) {
+		dm, err := ParseDefects(s)
+		if err != nil {
+			return
+		}
+		canon := dm.String()
+		dm2, err := ParseDefects(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if dm2.String() != canon {
+			t.Fatalf("canonicalization unstable: %q -> %q -> %q", s, canon, dm2.String())
+		}
+	})
+}

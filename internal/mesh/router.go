@@ -111,9 +111,16 @@ func (l *Lattice) wholeGrid() cellBox {
 	return cellBox{minX: 0, minY: 0, maxX: l.CW - 1, maxY: l.CH - 1}
 }
 
+// deadBusy is the reservation expiry written into every dead (defect-
+// region) cell: far beyond any reachable cycle, so the uniform
+// busyUntil checks in the BFS and dimension-ordered routers treat dead
+// cells as permanently blocked, and a braid with no live candidate
+// parks until the deadlock detector reports it — never a hang.
+const deadBusy = 1 << 60
+
 func newRouter(lat *Lattice) *router {
 	n := lat.Cells()
-	return &router{
+	r := &router{
 		lat:        lat,
 		busyUntil:  make([]int, n),
 		box:        lat.wholeGrid(),
@@ -124,6 +131,20 @@ func newRouter(lat *Lattice) *router {
 		claimStamp: make([]int, n),
 		treeStamp:  make([]int, n),
 	}
+	r.applyDead()
+	return r
+}
+
+// applyDead re-marks the lattice's defect cells as permanently reserved.
+func (r *router) applyDead() {
+	if r.lat.dead == nil {
+		return
+	}
+	for ci, d := range r.lat.dead {
+		if d {
+			r.busyUntil[ci] = deadBusy
+		}
+	}
 }
 
 // reset clears the reservations so the router can serve a fresh
@@ -131,6 +152,7 @@ func newRouter(lat *Lattice) *router {
 // clearing: the stamps keep counting up across runs.
 func (r *router) reset() {
 	clear(r.busyUntil)
+	r.applyDead()
 	r.box = r.lat.wholeGrid()
 }
 

@@ -256,6 +256,14 @@ func (r *router) routeXY(src, dst layout.Point, t int) ([]int, int) {
 	if clear2 < clear1 {
 		clear1 = clear2
 	}
+	if clear1 >= deadBusy {
+		// Both rectilinear candidates are severed by a fabrication-defect
+		// region — no reservation will ever expire to unblock them. This
+		// is the one case where a braid leaves the L-shaped discipline:
+		// the control software would precompute a detour around known-bad
+		// tiles, so route adaptively (mere congestion still stalls).
+		return r.route(r.lat.PortsOf(src), r.lat.PortsOf(dst), t)
+	}
 	return nil, clear1
 }
 
@@ -282,10 +290,20 @@ func (r *router) routeXYTree(control layout.Point, targets []layout.Point, t int
 				if clear2 < clear1 {
 					clear1 = clear2
 				}
-				r.unionBuf = union[:0]
-				return nil, clear1
+				if clear1 >= deadBusy {
+					// Defect-severed arm: detour adaptively, as routeXY
+					// does for pairs. Arms may overlap claimed cells of
+					// earlier arms (they are free in busyUntil until the
+					// whole tree reserves), so a plain BFS is sound here.
+					arm, clear1 = r.route(r.lat.PortsOf(control), r.lat.PortsOf(tgt), t)
+				}
+				if arm == nil {
+					r.unionBuf = union[:0]
+					return nil, clear1
+				}
+			} else {
+				arm = r.lat.yxPathInto(r.pathBuf, control, tgt)
 			}
-			arm = r.lat.yxPathInto(r.pathBuf, control, tgt)
 		}
 		r.pathBuf = arm
 		for _, ci := range arm {

@@ -36,6 +36,12 @@ type Config struct {
 	// EprCycles is the channel occupancy of teleportation-style
 	// entanglement distribution (zero means 2).
 	EprCycles int
+	// Defects names the defective tiles of a heterogeneous mesh in the
+	// canonical layout.DefectMap codec ("x,y;x,y" sorted row-major).
+	// Defective tiles expose no braid ports, their surrounding channel
+	// cells are permanently unroutable, and placements hosting a qubit
+	// on one are rejected. Empty means a defect-free mesh.
+	Defects string
 }
 
 // ZeroRouteMargin requests a true zero-margin routing box in RouteBox

@@ -35,6 +35,10 @@ import (
 type Simulator struct {
 	lat *Lattice
 	rt  *router
+	// latDefects is the canonical defect-map string the cached lattice
+	// was built with; a config with a different defect set forces a
+	// lattice (and router) rebuild even at the same tile dimensions.
+	latDefects string
 
 	// Dependency DAG cache: circuits are immutable once built everywhere
 	// in this repository, so repeated simulations of the same *Circuit
@@ -121,8 +125,9 @@ func (h *eventHeap) pop() event {
 }
 
 // validatePlacement performs layout.Placement.Validate's checks (same
-// error text) against stamp-indexed scratch instead of a per-call map.
-func (s *Simulator) validatePlacement(p *layout.Placement) error {
+// error text) against stamp-indexed scratch instead of a per-call map,
+// plus the defect check: no qubit may sit on a defective tile.
+func (s *Simulator) validatePlacement(p *layout.Placement, dm *layout.DefectMap) error {
 	if cap(s.tileStamp) < p.W*p.H {
 		s.tileStamp = make([]int, p.W*p.H)
 		s.tileWho = make([]int, p.W*p.H)
@@ -137,6 +142,9 @@ func (s *Simulator) validatePlacement(p *layout.Placement) error {
 		if pt.X < 0 || pt.X >= p.W || pt.Y < 0 || pt.Y >= p.H {
 			return fmt.Errorf("layout: qubit %d at %v outside %dx%d grid", q, pt, p.W, p.H)
 		}
+		if dm.Has(pt) {
+			return fmt.Errorf("layout: qubit %d placed on defective tile %v", q, pt)
+		}
 		ti := pt.Y*p.W + pt.X
 		if s.tileStamp[ti] == s.tileEpoch {
 			return fmt.Errorf("layout: qubits %d and %d share tile %v", s.tileWho[ti], q, pt)
@@ -147,15 +155,23 @@ func (s *Simulator) validatePlacement(p *layout.Placement) error {
 	return nil
 }
 
-// prepare sizes the arenas for (c, p) and resets per-run state.
-func (s *Simulator) prepare(c *circuit.Circuit, p *layout.Placement) {
-	if s.lat == nil || s.lat.TileW != p.W || s.lat.TileH != p.H {
-		s.lat = NewLattice(p.W, p.H)
+// prepare sizes the arenas for (c, p) and resets per-run state. The
+// circuit is validated once per DAG-cache miss, so a malformed frontend
+// circuit surfaces as a structured error here instead of an
+// out-of-range panic deep in the event loop.
+func (s *Simulator) prepare(c *circuit.Circuit, p *layout.Placement, dm *layout.DefectMap) error {
+	defects := dm.String()
+	if s.lat == nil || s.lat.TileW != p.W || s.lat.TileH != p.H || s.latDefects != defects {
+		s.lat = NewLatticeDefective(p.W, p.H, dm)
 		s.rt = newRouter(s.lat)
+		s.latDefects = defects
 	} else {
 		s.rt.reset()
 	}
 	if s.dagFor != c || s.dagGates != len(c.Gates) {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("mesh: %w", err)
+		}
 		s.dag = circuit.Deps(c)
 		s.dagFor, s.dagGates = c, len(c.Gates)
 	}
@@ -174,6 +190,7 @@ func (s *Simulator) prepare(c *circuit.Circuit, p *layout.Placement) {
 			s.ready = append(s.ready, i)
 		}
 	}
+	return nil
 }
 
 // Simulate executes c on the braid mesh defined by p and returns timing.
@@ -183,13 +200,19 @@ func (s *Simulator) prepare(c *circuit.Circuit, p *layout.Placement) {
 // Simulator; everything else is served from the arenas.
 func (s *Simulator) Simulate(c *circuit.Circuit, p *layout.Placement, cfg Config) (*Result, error) {
 	cfg.fill()
+	dm, err := layout.ParseDefects(cfg.Defects)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: %w", err)
+	}
 	if len(p.Pos) != c.NumQubits {
 		return nil, fmt.Errorf("mesh: placement covers %d qubits, circuit has %d", len(p.Pos), c.NumQubits)
 	}
-	if err := s.validatePlacement(p); err != nil {
+	if err := s.validatePlacement(p, dm); err != nil {
 		return nil, fmt.Errorf("mesh: %w", err)
 	}
-	s.prepare(c, p)
+	if err := s.prepare(c, p, dm); err != nil {
+		return nil, err
+	}
 	lat, rt, dag := s.lat, s.rt, s.dag
 
 	n := len(c.Gates)

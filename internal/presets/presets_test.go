@@ -1,0 +1,83 @@
+package presets
+
+import (
+	"sort"
+	"testing"
+
+	"magicstate"
+)
+
+func TestNamesSortedAndResolvable(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no presets registered")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, n := range names {
+		p, ok := Get(n)
+		if !ok {
+			t.Fatalf("Names() lists %q but Get cannot resolve it", n)
+		}
+		if p.Name != n {
+			t.Errorf("preset registered under %q carries Name %q", n, p.Name)
+		}
+		if p.Description == "" {
+			t.Errorf("preset %q has no description", n)
+		}
+		if len(p.Points) == 0 {
+			t.Errorf("preset %q has no points", n)
+		}
+	}
+	if _, ok := Get("no-such-preset"); ok {
+		t.Fatal("Get resolved a name that was never registered")
+	}
+}
+
+// TestPresetPointsWellFormed validates every registered point the way
+// the HTTP boundary would: factory specs validate, workload sources
+// compile, and defect maps parse. A preset that fails here would turn
+// a named suite into runtime 500s on both CLIs.
+func TestPresetPointsWellFormed(t *testing.T) {
+	for _, n := range Names() {
+		p, _ := Get(n)
+		for i, pt := range p.Points {
+			if pt.Opts.Workload != "" {
+				if err := magicstate.ValidateWorkload(pt.Opts.Workload, pt.Opts.WorkloadSource, pt.Opts.Seed); err != nil {
+					t.Errorf("preset %q point %d: workload invalid: %v", n, i, err)
+				}
+			} else if err := pt.Spec.Validate(); err != nil {
+				t.Errorf("preset %q point %d: spec invalid: %v", n, i, err)
+			}
+			if err := magicstate.ValidateDefects(pt.Opts.Defects); err != nil {
+				t.Errorf("preset %q point %d: defect map invalid: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// TestScenarioSmallCoversFrontends pins the CI smoke suite's shape: it
+// must keep exercising one point per aperture.
+func TestScenarioSmallCoversFrontends(t *testing.T) {
+	p, ok := Get("scenario-small")
+	if !ok {
+		t.Fatal("scenario-small missing")
+	}
+	var factory, defective, qasm, random bool
+	for _, pt := range p.Points {
+		switch {
+		case pt.Opts.Workload == "qasm":
+			qasm = true
+		case pt.Opts.Workload == "random":
+			random = true
+		case pt.Opts.Defects != "":
+			defective = true
+		default:
+			factory = true
+		}
+	}
+	if !factory || !defective || !qasm || !random {
+		t.Fatalf("scenario-small coverage: factory=%v defective=%v qasm=%v random=%v", factory, defective, qasm, random)
+	}
+}

@@ -1,0 +1,266 @@
+package qasm
+
+import (
+	"fmt"
+
+	"magicstate/internal/circuit"
+)
+
+// Compile parses and elaborates src, returning the flat gate-level
+// circuit: register declarations allocate logical qubits, whole-register
+// applications broadcast element-wise, and gate macros inline. The
+// circuit is validated before it is returned — a malformed program
+// yields a structured error, never an invalid circuit.
+func Compile(src string) (*circuit.Circuit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// maxDepth bounds macro inlining so mutually-recursive gate definitions
+// fail with an error instead of overflowing the stack.
+const maxDepth = 64
+
+// maxQubits bounds register allocation and maxGates bounds elaboration:
+// a kilobyte of source can otherwise demand gigabytes (qreg q[1<<30])
+// or run forever (64 chained macros that each call the previous one
+// twice elaborate 2^64 gates). Both limits are far beyond any circuit
+// the mesh could simulate, so real programs never see them.
+const (
+	maxQubits = 1 << 16
+	maxGates  = 1 << 20
+)
+
+type compiler struct {
+	prog  *Program
+	circ  *circuit.Circuit
+	qregs map[string][]circuit.Qubit
+	cregs map[string]int
+}
+
+// CompileProgram elaborates an already-parsed program.
+func CompileProgram(prog *Program) (*circuit.Circuit, error) {
+	c := &compiler{
+		prog:  prog,
+		circ:  circuit.New(0),
+		qregs: map[string][]circuit.Qubit{},
+		cregs: map[string]int{},
+	}
+	for _, s := range prog.Stmts {
+		var err error
+		switch st := s.(type) {
+		case *QRegDecl:
+			err = c.declare(st)
+		case *CRegDecl:
+			if _, dup := c.cregs[st.Name]; dup {
+				err = fmt.Errorf("qasm:%d: register %s redeclared", st.Line, st.Name)
+			} else {
+				c.cregs[st.Name] = st.Size
+			}
+		case *Apply:
+			err = c.apply(st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.circ.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: compiled circuit invalid: %w", err)
+	}
+	return c.circ, nil
+}
+
+func (c *compiler) declare(st *QRegDecl) error {
+	if _, dup := c.qregs[st.Name]; dup {
+		return fmt.Errorf("qasm:%d: register %s redeclared", st.Line, st.Name)
+	}
+	if _, dup := c.cregs[st.Name]; dup {
+		return fmt.Errorf("qasm:%d: register %s redeclared", st.Line, st.Name)
+	}
+	if c.circ.NumQubits+st.Size > maxQubits {
+		return fmt.Errorf("qasm:%d: program declares more than %d qubits", st.Line, maxQubits)
+	}
+	qs := make([]circuit.Qubit, st.Size)
+	for i := range qs {
+		qs[i] = c.circ.AddQubit(fmt.Sprintf("%s_%d", st.Name, i))
+	}
+	c.qregs[st.Name] = qs
+	return nil
+}
+
+// resolve maps an argument to the qubits it names: one for an indexed
+// element, the whole register otherwise.
+func (c *compiler) resolve(a Arg) ([]circuit.Qubit, error) {
+	qs, ok := c.qregs[a.Reg]
+	if !ok {
+		if _, isCreg := c.cregs[a.Reg]; isCreg {
+			return nil, fmt.Errorf("qasm:%d: %s is a classical register, want qubits", a.Line, a.Reg)
+		}
+		return nil, fmt.Errorf("qasm:%d: undeclared register %q", a.Line, a.Reg)
+	}
+	if !a.HasIndex {
+		return qs, nil
+	}
+	if a.Index < 0 || a.Index >= len(qs) {
+		return nil, fmt.Errorf("qasm:%d: index %d out of range for %s (size %d)", a.Line, a.Index, a.Reg, len(qs))
+	}
+	return qs[a.Index : a.Index+1], nil
+}
+
+// apply elaborates one main-body application: resolve each argument,
+// determine the broadcast width (every multi-qubit argument must agree;
+// single qubits broadcast), and emit one instance per lane.
+func (c *compiler) apply(app *Apply) error {
+	if app.Name == "measure" {
+		return c.measure(app)
+	}
+	args := make([][]circuit.Qubit, len(app.Args))
+	width := 1
+	for i, a := range app.Args {
+		qs, err := c.resolve(a)
+		if err != nil {
+			return err
+		}
+		args[i] = qs
+		if len(qs) > 1 {
+			if width > 1 && len(qs) != width {
+				return fmt.Errorf("qasm:%d: %s mixes registers of size %d and %d", app.Line, app.Name, width, len(qs))
+			}
+			width = len(qs)
+		}
+	}
+	if app.Name == "barrier" {
+		var all []circuit.Qubit
+		for _, qs := range args {
+			all = append(all, qs...)
+		}
+		c.circ.Barrier(all)
+		return nil
+	}
+	lane := make([]circuit.Qubit, len(args))
+	for w := 0; w < width; w++ {
+		for i, qs := range args {
+			if len(qs) == 1 {
+				lane[i] = qs[0]
+			} else {
+				lane[i] = qs[w]
+			}
+		}
+		if err := c.emit(app, lane, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) measure(app *Apply) error {
+	qs, err := c.resolve(app.Args[0])
+	if err != nil {
+		return err
+	}
+	size, ok := c.cregs[app.Dest.Reg]
+	if !ok {
+		return fmt.Errorf("qasm:%d: measure destination %q is not a classical register", app.Dest.Line, app.Dest.Reg)
+	}
+	if app.Dest.HasIndex {
+		if app.Dest.Index < 0 || app.Dest.Index >= size {
+			return fmt.Errorf("qasm:%d: index %d out of range for %s (size %d)", app.Dest.Line, app.Dest.Index, app.Dest.Reg, size)
+		}
+		if len(qs) != 1 {
+			return fmt.Errorf("qasm:%d: measure maps %d qubits to one bit", app.Line, len(qs))
+		}
+	} else if len(qs) > 1 && len(qs) != size {
+		return fmt.Errorf("qasm:%d: measure maps %d qubits to %d bits", app.Line, len(qs), size)
+	}
+	// The IR has no classical state; the destination is bounds-checked
+	// and discarded.
+	for _, q := range qs {
+		c.circ.MeasZ(q)
+	}
+	return nil
+}
+
+// emit lowers one scalar application: a builtin becomes IR gates, a
+// macro call inlines its body with formals bound to the lane's qubits.
+func (c *compiler) emit(app *Apply, qs []circuit.Qubit, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("qasm:%d: gate expansion depth exceeds %d (recursive definitions?)", app.Line, maxDepth)
+	}
+	if len(c.circ.Gates) > maxGates {
+		// Depth alone does not bound work: 64 macros that each invoke
+		// the previous one twice expand to 2^64 gates within the depth
+		// limit. The gate budget makes elaboration terminate.
+		return fmt.Errorf("qasm:%d: program expands past %d gates", app.Line, maxGates)
+	}
+	arity := func(n int) error {
+		if len(qs) != n {
+			return fmt.Errorf("qasm:%d: %s expects %d qubits, got %d", app.Line, app.Name, n, len(qs))
+		}
+		return nil
+	}
+	switch app.Name {
+	case "h", "x", "z", "s", "sdg", "t", "tdg", "id", "reset":
+		if err := arity(1); err != nil {
+			return err
+		}
+		switch app.Name {
+		case "h":
+			c.circ.H(qs[0])
+		case "x":
+			c.circ.X(qs[0])
+		case "z":
+			c.circ.Z(qs[0])
+		case "s", "sdg":
+			// S and S† cost the same cycles on the mesh; the IR keeps one kind.
+			c.circ.S(qs[0])
+		case "t", "tdg":
+			c.circ.T(qs[0])
+		case "id":
+			// Identity: no braid, no cycles.
+		case "reset":
+			c.circ.PrepZ(qs[0])
+		}
+		return nil
+	case "cx", "CX":
+		if err := arity(2); err != nil {
+			return err
+		}
+		if qs[0] == qs[1] {
+			return fmt.Errorf("qasm:%d: cx control and target are the same qubit", app.Line)
+		}
+		c.circ.CNOT(qs[0], qs[1])
+		return nil
+	case "U", "u1", "u2", "u3", "rx", "ry", "rz":
+		return fmt.Errorf("qasm:%d: parameterized gate %q is not supported (the braid mesh executes Clifford+T only)", app.Line, app.Name)
+	case "barrier":
+		c.circ.Barrier(qs)
+		return nil
+	}
+	g, ok := c.prog.Gates[app.Name]
+	if !ok {
+		return fmt.Errorf("qasm:%d: unknown gate %q", app.Line, app.Name)
+	}
+	if len(g.Params) != len(qs) {
+		return fmt.Errorf("qasm:%d: gate %s expects %d qubits, got %d", app.Line, g.Name, len(g.Params), len(qs))
+	}
+	bind := make(map[string]circuit.Qubit, len(g.Params))
+	for i, pn := range g.Params {
+		bind[pn] = qs[i]
+	}
+	for _, inner := range g.Body {
+		lane := make([]circuit.Qubit, len(inner.Args))
+		for i, a := range inner.Args {
+			q, ok := bind[a.Reg]
+			if !ok {
+				return fmt.Errorf("qasm:%d: gate %s body uses undeclared qubit %q", inner.Line, g.Name, a.Reg)
+			}
+			lane[i] = q
+		}
+		if err := c.emit(inner, lane, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package qasm compiles an OpenQASM-2 subset into the circuit IR: the
+// version header, qreg/creg declarations, parameterless gate macro
+// definitions, the Clifford+T builtin applications the mesh model can
+// execute (h, x, z, s, sdg, t, tdg, id, cx, measure, reset, barrier)
+// with full register broadcast, and include directives (accepted and
+// ignored — the qelib1 gates this subset uses are built in). Classical
+// control (`if`), parameterized rotations (`U`, `rz`, ...) and opaque
+// declarations are rejected with structured errors: the braid mesh has
+// no execution model for them, and a silent skip would misreport
+// latency. Like the scaffold front-end, the compiler validates the
+// resulting circuit before returning it, so a malformed import can
+// never reach the simulator with out-of-range qubit indices.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // integer or real literal (reals only survive to error messages)
+	tokString // double-quoted include path
+	tokPunct  // ( ) { } [ ] ; , -> == and friends
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes source, stripping // comments (the only comment form
+// OpenQASM 2 defines).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) || l.src[l.pos] != '"' {
+				return nil, fmt.Errorf("qasm:%d: unterminated string", l.line)
+			}
+			l.pos++
+			l.emit(tokString, string(l.src[start+1:l.pos-1]))
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.emit(tokIdent, string(l.src[start:l.pos]))
+		case unicode.IsDigit(c) || (c == '.' && unicode.IsDigit(l.peek(1))):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			l.emit(tokNumber, string(l.src[start:l.pos]))
+		case strings.ContainsRune("(){}[];,+-*/=<>!", c):
+			if two := string(l.src[l.pos:minInt(l.pos+2, len(l.src))]); two == "->" || two == "==" {
+				l.emit(tokPunct, two)
+				l.pos += 2
+				break
+			}
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("qasm:%d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) peek(ahead int) rune {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,272 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is a parsed OpenQASM-2 source: the declarations and gate
+// applications of the main body in source order, plus the gate macro
+// definitions they may call.
+type Program struct {
+	Version string
+	Stmts   []Stmt
+	Gates   map[string]*GateDef
+}
+
+// Stmt is a main-body statement.
+type Stmt interface{ stmtLine() int }
+
+// QRegDecl declares a quantum register.
+type QRegDecl struct {
+	Name string
+	Size int
+	Line int
+}
+
+// CRegDecl declares a classical register (tracked only to bounds-check
+// measure destinations; bits carry no simulated state).
+type CRegDecl struct {
+	Name string
+	Size int
+	Line int
+}
+
+// Apply is a gate application (builtin or macro call). Dest is non-nil
+// exactly for measure statements.
+type Apply struct {
+	Name string
+	Args []Arg
+	Dest *Arg
+	Line int
+}
+
+// Arg names a register or one indexed element of it.
+type Arg struct {
+	Reg      string
+	Index    int
+	HasIndex bool
+	Line     int
+}
+
+func (s *QRegDecl) stmtLine() int { return s.Line }
+func (s *CRegDecl) stmtLine() int { return s.Line }
+func (s *Apply) stmtLine() int    { return s.Line }
+
+// GateDef is a parameterless gate macro: formal qubit arguments and a
+// body of applications over them.
+type GateDef struct {
+	Name   string
+	Params []string
+	Body   []*Apply
+	Line   int
+}
+
+// Parse turns OpenQASM-2 source into a Program. The version header is
+// mandatory and must name a 2.x version; include directives are
+// accepted and ignored.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Gates: map[string]*GateDef{}}
+	p.parseHeader(prog)
+	for !p.at(tokEOF, "") && p.err == nil {
+		switch {
+		case p.at(tokIdent, "include"):
+			p.next()
+			p.expect(tokString)
+			p.expectPunct(";")
+		case p.at(tokIdent, "qreg"), p.at(tokIdent, "creg"):
+			prog.Stmts = append(prog.Stmts, p.parseRegDecl())
+		case p.at(tokIdent, "gate"):
+			g := p.parseGateDef()
+			if p.err != nil {
+				break
+			}
+			if _, dup := prog.Gates[g.Name]; dup {
+				return nil, fmt.Errorf("qasm:%d: gate %s redefined", g.Line, g.Name)
+			}
+			prog.Gates[g.Name] = g
+		case p.at(tokIdent, "opaque"):
+			p.fail("opaque gate declarations are not supported")
+		case p.at(tokIdent, "if"):
+			p.fail("classically-controlled gates (if) are not supported")
+		case p.cur().kind == tokIdent:
+			prog.Stmts = append(prog.Stmts, p.parseApply(false))
+		case p.accept(tokPunct, ";"):
+		default:
+			p.fail("expected a declaration or gate application, got %q", p.cur().text)
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) token {
+	if p.cur().kind != kind {
+		p.fail("expected token kind %d, got %q", kind, p.cur().text)
+		return token{}
+	}
+	return p.next()
+}
+
+func (p *parser) expectPunct(text string) {
+	if !p.accept(tokPunct, text) {
+		p.fail("expected %q, got %q", text, p.cur().text)
+	}
+}
+
+func (p *parser) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf("qasm:%d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	}
+	// Skip to EOF to stop parsing.
+	p.pos = len(p.toks) - 1
+}
+
+func (p *parser) parseHeader(prog *Program) {
+	if !p.accept(tokIdent, "OPENQASM") {
+		p.fail("missing OPENQASM version header")
+		return
+	}
+	v := p.expect(tokNumber).text
+	if p.err == nil && !strings.HasPrefix(v, "2") {
+		p.fail("unsupported OPENQASM version %s (want 2.x)", v)
+		return
+	}
+	prog.Version = v
+	p.expectPunct(";")
+}
+
+func (p *parser) parseInt() int {
+	t := p.expect(tokNumber)
+	if p.err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		p.fail("expected an integer, got %q", t.text)
+		return 0
+	}
+	return n
+}
+
+func (p *parser) parseRegDecl() Stmt {
+	kind := p.next().text // qreg | creg
+	line := p.cur().line
+	name := p.expect(tokIdent).text
+	p.expectPunct("[")
+	size := p.parseInt()
+	p.expectPunct("]")
+	p.expectPunct(";")
+	if p.err == nil && size <= 0 {
+		p.fail("%s %s must have positive size, got %d", kind, name, size)
+	}
+	if kind == "creg" {
+		return &CRegDecl{Name: name, Size: size, Line: line}
+	}
+	return &QRegDecl{Name: name, Size: size, Line: line}
+}
+
+// parseArg parses `name` or `name[i]`; inside gate bodies indices are
+// disallowed (formals are single qubits).
+func (p *parser) parseArg(inGate bool) Arg {
+	t := p.expect(tokIdent)
+	a := Arg{Reg: t.text, Line: t.line}
+	if p.accept(tokPunct, "[") {
+		if inGate {
+			p.fail("gate bodies cannot index their qubit arguments")
+			return a
+		}
+		a.Index = p.parseInt()
+		a.HasIndex = true
+		p.expectPunct("]")
+	}
+	return a
+}
+
+func (p *parser) parseApply(inGate bool) *Apply {
+	t := p.expect(tokIdent)
+	app := &Apply{Name: t.text, Line: t.line}
+	if p.at(tokPunct, "(") {
+		p.fail("parameterized gate %q is not supported (the braid mesh executes Clifford+T only)", t.text)
+		return app
+	}
+	for {
+		app.Args = append(app.Args, p.parseArg(inGate))
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if app.Name == "measure" {
+		if inGate {
+			p.fail("measure is not allowed inside a gate body")
+			return app
+		}
+		p.expectPunct("->")
+		dest := p.parseArg(false)
+		app.Dest = &dest
+	}
+	p.expectPunct(";")
+	return app
+}
+
+func (p *parser) parseGateDef() *GateDef {
+	line := p.cur().line
+	p.next() // gate
+	g := &GateDef{Name: p.expect(tokIdent).text, Line: line}
+	if p.at(tokPunct, "(") {
+		p.fail("parameterized gate definitions are not supported")
+		return g
+	}
+	for p.cur().kind == tokIdent {
+		g.Params = append(g.Params, p.next().text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	p.expectPunct("{")
+	for !p.at(tokPunct, "}") && p.err == nil {
+		if p.accept(tokPunct, ";") {
+			continue
+		}
+		g.Body = append(g.Body, p.parseApply(true))
+	}
+	p.expectPunct("}")
+	return g
+}

@@ -1,0 +1,164 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"magicstate/internal/circuit"
+)
+
+const bell = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+`
+
+func TestCompileBell(t *testing.T) {
+	c, err := Compile(bell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 {
+		t.Fatalf("NumQubits = %d, want 2", c.NumQubits)
+	}
+	kinds := []circuit.Kind{}
+	for _, g := range c.Gates {
+		kinds = append(kinds, g.Kind)
+	}
+	want := []circuit.Kind{circuit.KindH, circuit.KindCNOT, circuit.KindMeasZ, circuit.KindMeasZ}
+	if len(kinds) != len(want) {
+		t.Fatalf("gate kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("gate %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestCompileBroadcast(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg a[3];
+qreg b[3];
+h a;
+cx a,b;
+cx a[0],b;
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h a broadcasts to 3 H gates; cx a,b zips to 3 CNOTs; cx a[0],b
+	// broadcasts the single control over b's 3 elements.
+	if h := c.CountKind(circuit.KindH); h != 3 {
+		t.Fatalf("H count = %d, want 3", h)
+	}
+	if cx := c.CountKind(circuit.KindCNOT); cx != 6 {
+		t.Fatalf("CNOT count = %d, want 6", cx)
+	}
+}
+
+func TestCompileMacro(t *testing.T) {
+	src := `OPENQASM 2.0;
+gate flip a { x a; }
+gate bellpair a, b { h a; cx a, b; }
+qreg q[2];
+flip q[0];
+bellpair q[0], q[1];
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := c.CountKind(circuit.KindX); x != 1 {
+		t.Fatalf("X count = %d, want 1", x)
+	}
+	if cx := c.CountKind(circuit.KindCNOT); cx != 1 {
+		t.Fatalf("CNOT count = %d, want 1", cx)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing header", "qreg q[1];\n", "OPENQASM"},
+		{"parameterized gate", "OPENQASM 2.0;\nqreg q[1];\nrz(0.5) q[0];\n", "not supported"},
+		{"if statement", "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c==1) x q[0];\n", "if"},
+		{"bad index", "OPENQASM 2.0;\nqreg q[2];\nx q[5];\n", "out of range"},
+		{"undeclared register", "OPENQASM 2.0;\nx q[0];\n", "undeclared"},
+		{"measure size mismatch", "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nmeasure q -> c;\n", "3 qubits to 2 bits"},
+		{"cx same qubit", "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n", "same qubit"},
+		{"redeclared", "OPENQASM 2.0;\nqreg q[1];\nqreg q[2];\n", "redeclared"},
+		{"unknown gate", "OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n", "unknown gate"},
+		{"mixed widths", "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;\n", "mixes registers"},
+		{"qubit budget", "OPENQASM 2.0;\nqreg q[1000000];\n", "more than"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(tc.src); err == nil {
+				t.Fatalf("Compile accepted %q", tc.src)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileRecursionDepth(t *testing.T) {
+	src := "OPENQASM 2.0;\ngate loop a { loop a; }\nqreg q[1];\nloop q[0];\n"
+	_, err := Compile(src)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("recursive macro: err = %v, want depth error", err)
+	}
+}
+
+// TestCompileGateBudget pins the fix for the exponential-expansion
+// hang: a chain of macros that each invoke the previous one twice
+// stays within the depth limit while expanding 2^n gates. Elaboration
+// must fail fast instead of running for the age of the universe.
+func TestCompileGateBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ngate g0 a { x a; }\n")
+	for i := 1; i <= 60; i++ {
+		fmt.Fprintf(&b, "gate g%d a { g%d a; g%d a; }\n", i, i-1, i-1)
+	}
+	b.WriteString("qreg q[1];\ng60 q[0];\n")
+	done := make(chan error, 1)
+	go func() {
+		_, err := Compile(b.String())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "expands past") {
+			t.Fatalf("doubling macros: err = %v, want gate-budget error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("doubling macros: Compile hung")
+	}
+}
+
+func FuzzQASMParse(f *testing.F) {
+	f.Add(bell)
+	f.Add("OPENQASM 2.0;\ngate g a, b { cx a, b; h b; }\nqreg q[3];\ncreg c[3];\ng q[0], q[1];\nbarrier q;\nreset q[2];\nmeasure q -> c;\n")
+	f.Add("OPENQASM 2.0;\ngate g0 a { x a; }\ngate g1 a { g0 a; g0 a; }\nqreg q[1];\ng1 q[0];\n")
+	f.Add("OPENQASM 2;\nqreg q[1]")
+	f.Add("// comment\nOPENQASM 2.0;\nqreg q[0];\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Whatever compiles must be a valid circuit: that is the
+		// frontend-boundary contract the pipeline relies on.
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Compile accepted %q but circuit invalid: %v", src, verr)
+		}
+	})
+}

@@ -61,11 +61,22 @@ func (e *env) setInt(name string, n int)                 { e.vars[name] = value{
 func (e *env) setQubits(name string, qs []circuit.Qubit) { e.vars[name] = value{qs: qs} }
 
 type elaborator struct {
-	prog *Program
-	circ *circuit.Circuit
+	prog  *Program
+	circ  *circuit.Circuit
+	steps int
 }
 
 const maxDepth = 64
+
+// maxQubits bounds allocation and maxSteps bounds elaboration: the
+// interpreter unrolls loops, so a one-line `for (i in 0..1<<30)` would
+// otherwise spin for minutes, and `qbit q[1<<30]` would demand
+// gigabytes. Both limits sit far beyond any program the mesh could
+// simulate, so real circuits never see them.
+const (
+	maxQubits = 1 << 16
+	maxSteps  = 1 << 22
+)
 
 func (el *elaborator) runModule(m *Module, args []value, outer *env, depth int) error {
 	if depth > maxDepth {
@@ -95,6 +106,10 @@ func (el *elaborator) runBlock(stmts []Stmt, env *env, depth int) error {
 }
 
 func (el *elaborator) runStmt(s Stmt, env *env, depth int) error {
+	el.steps++
+	if el.steps > maxSteps {
+		return fmt.Errorf("scaffold: program executes more than %d statements (runaway loop?)", maxSteps)
+	}
 	switch st := s.(type) {
 	case *DeclStmt:
 		size, err := el.evalInt(st.Size, env)
@@ -103,6 +118,9 @@ func (el *elaborator) runStmt(s Stmt, env *env, depth int) error {
 		}
 		if size < 0 {
 			return fmt.Errorf("scaffold:%d: negative array size %d", st.Line, size)
+		}
+		if el.circ.NumQubits+size > maxQubits {
+			return fmt.Errorf("scaffold:%d: program declares more than %d qubits", st.Line, maxQubits)
 		}
 		qs := make([]circuit.Qubit, size)
 		for i := range qs {
@@ -119,6 +137,12 @@ func (el *elaborator) runStmt(s Stmt, env *env, depth int) error {
 			return err
 		}
 		for i := lo; i < hi; i++ {
+			// Each iteration is a step in its own right, so a huge
+			// trip count over an empty body still hits the budget.
+			el.steps++
+			if el.steps > maxSteps {
+				return fmt.Errorf("scaffold:%d: program executes more than %d statements (runaway loop?)", st.Line, maxSteps)
+			}
 			inner := newEnv(env)
 			inner.setInt(st.Var, i)
 			if err := el.runBlock(st.Body, inner, depth); err != nil {

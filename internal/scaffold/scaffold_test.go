@@ -3,6 +3,7 @@ package scaffold
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/circuit"
@@ -211,4 +212,58 @@ func TestLexerUnterminatedComment(t *testing.T) {
 	if _, err := lex("/* oops"); err == nil {
 		t.Error("unterminated comment should fail")
 	}
+}
+
+// TestElaborationBudgets pins the interpreter's resource limits: an
+// unrolled loop with a huge trip count and an oversized qbit array must
+// both fail fast with a structured error instead of hanging or
+// ballooning memory — compilers run at HTTP request-validation time.
+func TestElaborationBudgets(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"runaway loop",
+			`module main() { qbit q[1]; for (int i = 0; i < 1000000000; i++) { } }`,
+			"statements"},
+		{"oversized array",
+			`module main() { qbit q[1000000000]; }`,
+			"more than"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() {
+				_, err := Compile(tc.src)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil || !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.want)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("Compile hung")
+			}
+		})
+	}
+}
+
+func FuzzScaffoldParse(f *testing.F) {
+	f.Add(fig5)
+	f.Add(`#define K 2
+module sub(qbit* a) { H(a[0]); CNOT(a[0], a[1]); }
+module main() { qbit q[K]; sub(q); MeasZ(q); }`)
+	f.Add(`module main() { qbit q[3]; for (int i = 0; i < 3; i++) { T(q[i]); } }`)
+	f.Add(`/* comment */ module main() { }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// The frontend-boundary contract: anything that compiles is a
+		// valid circuit.
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Compile accepted %q but circuit invalid: %v", src, verr)
+		}
+	})
 }

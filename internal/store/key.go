@@ -37,7 +37,7 @@ func ParseKey(s string) (Key, error) {
 // changes meaning (field added, renamed, or reinterpreted). Bumping it
 // changes every key, which safely orphans — never misreads — records
 // written by older encodings.
-const keyFormatVersion = 2
+const keyFormatVersion = 3
 
 // KeyOf returns the canonical content address of cfg. The encoding
 // writes every Config field (including the nested cost model and the
@@ -68,6 +68,10 @@ func KeyOf(cfg core.Config) Key {
 	fmt.Fprintf(h, "Stitch={Seed=%d Reuse=%t Hops=%d HopIters=%d DisablePortReassign=%t ExpandSpacing=%d NoBarriers=%t}\n",
 		cfg.Stitch.Seed, cfg.Stitch.Reuse, int(cfg.Stitch.Hops), cfg.Stitch.HopIters,
 		cfg.Stitch.DisablePortReassign, cfg.Stitch.ExpandSpacing, cfg.Stitch.NoBarriers)
+	// %q makes the string fields self-delimiting, so no crafted source
+	// text can collide with another field's encoding.
+	fmt.Fprintf(h, "Workload=%q WorkloadSource=%q Defects=%q\n",
+		cfg.Workload, cfg.WorkloadSource, cfg.Defects)
 	var k Key
 	h.Sum(k[:0])
 	return k

@@ -13,9 +13,10 @@ import (
 func TestKeyOfPinnedDigest(t *testing.T) {
 	// The canonical encoding must be stable across processes and
 	// releases: a silent change would orphan every existing store. This
-	// digest was produced by keyFormatVersion 2 (which added FD.Restarts);
-	// if the encoding must change, bump keyFormatVersion and re-pin.
-	const want = "02287c2b288a349dfb792f21761c52390a76a0066da1ce6a034a0a62f2c0d3c9"
+	// digest was produced by keyFormatVersion 3 (which added the
+	// Workload, WorkloadSource and Defects fields); if the encoding must
+	// change, bump keyFormatVersion and re-pin.
+	const want = "91dd184a359094e5ea284fad4ec32da5c9e2d806d068310b804809f44b67a4de"
 	got := KeyOf(core.Config{K: 4, Levels: 2, Reuse: true, Strategy: core.StrategyStitch, Seed: 7}).String()
 	if got != want {
 		t.Fatalf("KeyOf digest drifted:\n got %s\nwant %s\n(bump keyFormatVersion if the encoding changed on purpose)", got, want)
@@ -45,6 +46,9 @@ func TestKeyOfDistinguishesEveryField(t *testing.T) {
 	add("FD", func(c *core.Config) { c.FD = force.Options{Iterations: 9} })
 	add("FD.Restarts", func(c *core.Config) { c.FD.Restarts = 2 })
 	add("Stitch", func(c *core.Config) { c.Stitch = stitch.Options{HopIters: 9} })
+	add("Workload", func(c *core.Config) { c.Workload = "random" })
+	add("WorkloadSource", func(c *core.Config) { c.WorkloadSource = "q=8;layers=2" })
+	add("Defects", func(c *core.Config) { c.Defects = "1,1" })
 
 	baseKey := KeyOf(base)
 	seen := map[Key]string{baseKey: "base"}
@@ -86,6 +90,7 @@ func TestKeyGuardsConfigFields(t *testing.T) {
 	check(core.Config{}, []string{
 		"K", "Levels", "Reuse", "NoBarriers", "Strategy", "Seed", "Cost",
 		"MeshMode", "RouteMargin", "Style", "Distance", "RecordPaths", "FD", "Stitch",
+		"Workload", "WorkloadSource", "Defects",
 	})
 	check(resource.CostModel{}, []string{"Prep", "H", "Meas", "CNOT", "CXX", "Inject", "Move"})
 	// RestartWorkers is in this guard list but intentionally absent from

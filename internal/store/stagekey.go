@@ -12,7 +12,7 @@ import (
 // below changes meaning — a field added to a stage's scope, removed
 // from it, or reinterpreted. Like keyFormatVersion, bumping it orphans
 // (never misreads) stage records written by older encodings.
-const stageKeyFormatVersion = 1
+const stageKeyFormatVersion = 2
 
 // StageKeyOf returns the content address of cfg's artifact for one
 // pipeline stage. Where KeyOf digests every Config field (the final
@@ -20,17 +20,20 @@ const stageKeyFormatVersion = 1
 // fields that stage consumes, so configs that differ only in
 // downstream axes share upstream artifacts:
 //
-//   - StageBuild (flat strategies): {K, Levels, Reuse, NoBarriers}.
-//     Every seed, style, cost model and mapper shares one factory.
+//   - StageBuild (flat strategies): {K, Levels, Reuse, NoBarriers,
+//     Workload, WorkloadSource}. Every seed, style, cost model and
+//     mapper shares one factory; a frontend workload determines the
+//     circuit, so it scopes the build for every stage downstream.
 //   - StageBuild (stitching): the above plus Seed and the Stitch
 //     options — building and placing are one fused, seeded
 //     optimization there (the artifact carries the placement).
-//   - StagePlace: the build scope plus Strategy and what the mapper
-//     reads — Seed for the seeded mappers (Random, GP, FD), nothing
-//     extra for Linear, and for FD also the FD options and the mesh
-//     scope, because FD scores candidates in simulation.
+//   - StagePlace: the build scope plus Strategy, Defects (every mapper
+//     relocates qubits off defective tiles) and what the mapper reads —
+//     Seed for the seeded mappers (Random, GP, FD), nothing extra for
+//     Linear, and for FD also the FD options and the mesh scope,
+//     because FD scores candidates in simulation.
 //   - StageSim: the place scope plus the mesh scope {Cost, MeshMode,
-//     RouteMargin, Style, Distance}.
+//     RouteMargin, Style, Distance, Defects}.
 //
 // RecordPaths appears in no stage scope: it changes which diagnostics a
 // simulation retains, never its outcome, so it gates sim-stage
@@ -64,6 +67,7 @@ func StageKeyOf(st core.Stage, cfg core.Config) Key {
 func writeBuildScope(h io.Writer, cfg core.Config) {
 	fmt.Fprintf(h, "K=%d Levels=%d Reuse=%t NoBarriers=%t\n",
 		cfg.K, cfg.Levels, cfg.Reuse, cfg.NoBarriers)
+	fmt.Fprintf(h, "Workload=%q WorkloadSource=%q\n", cfg.Workload, cfg.WorkloadSource)
 	if cfg.Strategy == core.StrategyStitch {
 		fmt.Fprintf(h, "kind=stitch Seed=%d\n", cfg.Seed)
 		fmt.Fprintf(h, "Stitch={Seed=%d Reuse=%t Hops=%d HopIters=%d DisablePortReassign=%t ExpandSpacing=%d NoBarriers=%t}\n",
@@ -79,6 +83,9 @@ func writeBuildScope(h io.Writer, cfg core.Config) {
 func writePlaceScope(h io.Writer, cfg core.Config) {
 	writeBuildScope(h, cfg)
 	fmt.Fprintf(h, "Strategy=%d\n", int(cfg.Strategy))
+	// Every mapper (including the stitch pass-through) relocates qubits
+	// off defective tiles, so the defect map scopes every placement.
+	fmt.Fprintf(h, "Defects=%q\n", cfg.Defects)
 	switch cfg.Strategy {
 	case core.StrategyRandom, core.StrategyGraphPartition:
 		fmt.Fprintf(h, "Seed=%d\n", cfg.Seed)
@@ -103,8 +110,8 @@ func writeMeshScope(h io.Writer, cfg core.Config) {
 	fmt.Fprintf(h, "Cost={Prep=%d H=%d Meas=%d CNOT=%d CXX=%d Inject=%d Move=%d}\n",
 		cfg.Cost.Prep, cfg.Cost.H, cfg.Cost.Meas, cfg.Cost.CNOT, cfg.Cost.CXX,
 		cfg.Cost.Inject, cfg.Cost.Move)
-	fmt.Fprintf(h, "MeshMode=%d RouteMargin=%d Style=%d Distance=%d\n",
-		int(cfg.MeshMode), cfg.RouteMargin, int(cfg.Style), cfg.Distance)
+	fmt.Fprintf(h, "MeshMode=%d RouteMargin=%d Style=%d Distance=%d Defects=%q\n",
+		int(cfg.MeshMode), cfg.RouteMargin, int(cfg.Style), cfg.Distance, cfg.Defects)
 }
 
 // StageCacheable reports whether cfg's artifact for the given stage can

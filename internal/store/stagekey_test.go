@@ -73,6 +73,13 @@ func TestStageKeyScopes(t *testing.T) {
 		{"Levels", func(c *core.Config) { c.Levels = 1 }, "build+place+sim"},
 		{"Reuse", func(c *core.Config) { c.Reuse = true }, "build+place+sim"},
 		{"NoBarriers", func(c *core.Config) { c.NoBarriers = true }, "build+place+sim"},
+		// A frontend workload determines the circuit itself, so it scopes
+		// every stage regardless of strategy.
+		{"Workload", func(c *core.Config) { c.Workload = "random" }, "build+place+sim"},
+		{"WorkloadSource", func(c *core.Config) { c.WorkloadSource = "q=8;layers=2" }, "build+place+sim"},
+		// The defect map never reaches the build (the factory circuit is
+		// mesh-independent) but every mapper relocates around it.
+		{"Defects", func(c *core.Config) { c.Defects = "1,1" }, "place+sim"},
 		{"RecordPaths", func(c *core.Config) { c.RecordPaths = true }, ""},
 		{"FD.RestartWorkers", func(c *core.Config) { c.FD.RestartWorkers = 8 }, ""},
 	}
@@ -167,14 +174,15 @@ func TestStageKeysNeverAliasAcrossStagesOrFinals(t *testing.T) {
 // TestStageKeyPinnedDigests pins the canonical stage encodings the way
 // TestKeyOfPinnedDigest pins the final one: silent drift would orphan
 // every stage record in every existing store. Produced by
-// stageKeyFormatVersion 1; if an encoding must change, bump the version
-// and re-pin.
+// stageKeyFormatVersion 2 (which scoped Workload/WorkloadSource into the
+// build and Defects into place and sim); if an encoding must change,
+// bump the version and re-pin.
 func TestStageKeyPinnedDigests(t *testing.T) {
 	cfg := core.Config{K: 4, Levels: 2, Reuse: true, Strategy: core.StrategyStitch, Seed: 7}
 	for st, want := range map[core.Stage]string{
-		core.StageBuild: "b47834ba70419e4c6600c799f4f12b74d34070e952cb01bdff08c9ab9be59e7b",
-		core.StagePlace: "fefded655dc39611a47f4c85e0bc9172a6a061e9fe74a2288595f58168618194",
-		core.StageSim:   "57ae4f422ba53f2aa2ba655bcf46c667c2f6c66731cb43a141cc3a979f0023b7",
+		core.StageBuild: "f9135e6ca906eecb0aae23a9de58690b42c4f30f38ee051467b6f8cb3e4170aa",
+		core.StagePlace: "ededca6ab94c0ce673e46464a32d8fb40777ee4da8e1e7911a8fea7ecb1a49f1",
+		core.StageSim:   "492d73000e35cf5c7c248d2452f229189d7bace24cdadc6d1493f793c0cd10c6",
 	} {
 		if got := StageKeyOf(st, cfg).String(); got != want {
 			t.Errorf("stage %s digest drifted:\n got %s\nwant %s\n(bump stageKeyFormatVersion if the encoding changed on purpose)", st, got, want)
@@ -195,20 +203,23 @@ func TestStageKeyGuardsConfigFields(t *testing.T) {
 	//   sim         — joins at the simulation key
 	//   excluded    — deliberately in no stage scope
 	scope := map[string]string{
-		"K":           "build",
-		"Levels":      "build",
-		"Reuse":       "build",
-		"NoBarriers":  "build",
-		"Seed":        "build", // stitch fuses it into the build; seeded mappers at place
-		"Stitch":      "build", // stitch builds only
-		"Strategy":    "place",
-		"FD":          "place", // FD mapper only (minus RestartWorkers)
-		"Cost":        "sim",   // and place, for FD's simulation-scored candidates
-		"MeshMode":    "sim",
-		"RouteMargin": "sim",
-		"Style":       "sim",
-		"Distance":    "sim",
-		"RecordPaths": "excluded", // diagnostics-only; gates StageCacheable instead
+		"K":              "build",
+		"Levels":         "build",
+		"Reuse":          "build",
+		"NoBarriers":     "build",
+		"Seed":           "build", // stitch fuses it into the build; seeded mappers at place
+		"Stitch":         "build", // stitch builds only
+		"Strategy":       "place",
+		"FD":             "place", // FD mapper only (minus RestartWorkers)
+		"Cost":           "sim",   // and place, for FD's simulation-scored candidates
+		"MeshMode":       "sim",
+		"RouteMargin":    "sim",
+		"Style":          "sim",
+		"Distance":       "sim",
+		"RecordPaths":    "excluded", // diagnostics-only; gates StageCacheable instead
+		"Workload":       "build",    // the frontend fixes the circuit for every stage
+		"WorkloadSource": "build",
+		"Defects":        "place", // mappers relocate around defects; sim routes around them
 	}
 	rt := reflect.TypeOf(core.Config{})
 	for i := 0; i < rt.NumField(); i++ {

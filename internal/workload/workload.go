@@ -1,0 +1,166 @@
+// Package workload generates seeded random layered circuits for
+// fuzzing the pipeline and for load realism in the msfuload traffic
+// generator: configurations the paper's hand-picked benchmarks never
+// exercise. A workload is described by a small Spec (width, depth,
+// two-qubit density, T density) with a canonical string codec, so a
+// workload-bearing core.Config stays content-addressable, and every
+// random draw comes from SplitMix64 child streams (one per layer) so a
+// (spec, seed) pair always produces the identical circuit regardless of
+// generation order elsewhere in the process.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"magicstate/internal/circuit"
+	"magicstate/internal/stats"
+)
+
+// Spec describes a layered random circuit.
+type Spec struct {
+	// Qubits is the circuit width (>= 2).
+	Qubits int
+	// Layers is the circuit depth in layers (>= 1).
+	Layers int
+	// CX is the probability that a candidate qubit pair in a layer
+	// becomes a CNOT (two-qubit braid density), in [0, 1].
+	CX float64
+	// T is the probability that a qubit left single in a layer receives
+	// a T gate rather than an H, in [0, 1] — the T-density knob.
+	T float64
+}
+
+// Validate checks the knobs are in range.
+func (s Spec) Validate() error {
+	if s.Qubits < 2 {
+		return fmt.Errorf("workload: need at least 2 qubits, got %d", s.Qubits)
+	}
+	if s.Layers < 1 {
+		return fmt.Errorf("workload: need at least 1 layer, got %d", s.Layers)
+	}
+	if s.CX < 0 || s.CX > 1 {
+		return fmt.Errorf("workload: cx density %g outside [0, 1]", s.CX)
+	}
+	if s.T < 0 || s.T > 1 {
+		return fmt.Errorf("workload: t density %g outside [0, 1]", s.T)
+	}
+	return nil
+}
+
+// String returns the canonical codec form, e.g. "q=16;layers=8;cx=0.5;t=0.25".
+// Parse(s.String()) round-trips for any valid spec.
+func (s Spec) String() string {
+	return fmt.Sprintf("q=%d;layers=%d;cx=%s;t=%s",
+		s.Qubits, s.Layers,
+		strconv.FormatFloat(s.CX, 'g', -1, 64),
+		strconv.FormatFloat(s.T, 'g', -1, 64))
+}
+
+// Parse decodes the canonical spec form: semicolon-separated key=value
+// pairs with keys q, layers, cx, t (each at most once; q and layers
+// mandatory). The result is validated.
+func Parse(src string) (Spec, error) {
+	var s Spec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(strings.TrimSpace(src), ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return s, fmt.Errorf("workload: spec %q has an empty entry", src)
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("workload: spec entry %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if seen[key] {
+			return s, fmt.Errorf("workload: spec repeats key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "q":
+			s.Qubits, err = strconv.Atoi(val)
+		case "layers":
+			s.Layers, err = strconv.Atoi(val)
+		case "cx":
+			s.CX, err = strconv.ParseFloat(val, 64)
+		case "t":
+			s.T, err = strconv.ParseFloat(val, 64)
+		default:
+			return s, fmt.Errorf("workload: unknown spec key %q (want q, layers, cx, t)", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("workload: spec entry %q: %v", part, err)
+		}
+	}
+	if !seen["q"] || !seen["layers"] {
+		return s, fmt.Errorf("workload: spec %q must set q and layers", src)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Generate builds the layered random circuit for (spec, seed): every
+// qubit is prepared, each layer independently shuffles the qubits into
+// candidate pairs (CNOT with probability CX, singles otherwise, singles
+// drawing T vs H by the T density), and every qubit is measured at the
+// end. Layer i draws from SplitMix64 child stream i+1 of seed. The
+// returned circuit is validated — the generator is a frontend boundary
+// like the qasm and scaffold compilers.
+func Generate(spec Spec, seed int64) (*circuit.Circuit, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := circuit.New(0)
+	qs := make([]circuit.Qubit, spec.Qubits)
+	for i := range qs {
+		qs[i] = c.AddQubit(fmt.Sprintf("w_%d", i))
+	}
+	for _, q := range qs {
+		c.PrepZ(q)
+	}
+	for layer := 0; layer < spec.Layers; layer++ {
+		rng := stats.SplitRNG(seed, int64(layer)+1)
+		perm := rng.Perm(spec.Qubits)
+		for i := 0; i < len(perm); i += 2 {
+			if i+1 < len(perm) && rng.Float64() < spec.CX {
+				c.CNOT(qs[perm[i]], qs[perm[i+1]])
+				continue
+			}
+			for _, pi := range perm[i:minInt(i+2, len(perm))] {
+				if rng.Float64() < spec.T {
+					c.T(qs[pi])
+				} else {
+					c.H(qs[pi])
+				}
+			}
+		}
+	}
+	for _, q := range qs {
+		c.MeasZ(q)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+// GenerateString is Generate over the canonical spec codec.
+func GenerateString(src string, seed int64) (*circuit.Circuit, error) {
+	spec, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(spec, seed)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"magicstate/internal/circuit"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Qubits: 2, Layers: 1},
+		{Qubits: 16, Layers: 8, CX: 0.5, T: 0.25},
+		{Qubits: 9, Layers: 6, CX: 0.4, T: 0.3},
+		{Qubits: 3, Layers: 2, CX: 1, T: 1},
+	}
+	for _, s := range specs {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %q: got %+v, want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "empty entry"},
+		{"q=4", "must set q and layers"},
+		{"layers=2", "must set q and layers"},
+		{"q=4;layers=2;q=5", "repeats key"},
+		{"q=4;layers=2;foo=1", "unknown spec key"},
+		{"q=four;layers=2", "spec entry"},
+		{"q=1;layers=2", "at least 2 qubits"},
+		{"q=4;layers=0", "at least 1 layer"},
+		{"q=4;layers=2;cx=1.5", "outside [0, 1]"},
+		{"q=4;layers=2;t=-0.1", "outside [0, 1]"},
+		{"q=4;layers=2;cx", "not key=value"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("Parse(%q) accepted", tc.src)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the seeded-stream contract: the same
+// (spec, seed) pair yields the identical gate sequence on every call,
+// and a different seed yields a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	const spec = "q=8;layers=6;cx=0.5;t=0.3"
+	a, err := GenerateString(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateString(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same (spec, seed) produced different circuits")
+	}
+	c, err := GenerateString(spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := Spec{Qubits: 10, Layers: 4, CX: 1, T: 0}
+	c, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 10 {
+		t.Fatalf("NumQubits = %d, want 10", c.NumQubits)
+	}
+	if got := c.CountKind(circuit.KindPrepZ); got != 10 {
+		t.Errorf("PrepZ count = %d, want 10", got)
+	}
+	if got := c.CountKind(circuit.KindMeasZ); got != 10 {
+		t.Errorf("MeasZ count = %d, want 10", got)
+	}
+	// CX = 1: every layer pairs all 10 qubits into 5 CNOTs.
+	if got := c.CountKind(circuit.KindCNOT); got != 20 {
+		t.Errorf("CNOT count = %d, want 20", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("generated circuit invalid: %v", err)
+	}
+}
+
+func FuzzWorkloadParse(f *testing.F) {
+	f.Add("q=8;layers=6;cx=0.5;t=0.3", int64(1))
+	f.Add("q=2;layers=1", int64(0))
+	f.Add(" q = 4 ; layers = 2 ; cx = 0 ; t = 1 ", int64(-5))
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Cap the work so fuzzing explores the codec, not generation cost.
+		if spec.Qubits > 64 || spec.Layers > 64 {
+			return
+		}
+		c, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("Parse accepted %q but Generate failed: %v", src, err)
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("generated circuit invalid for %q: %v", src, verr)
+		}
+	})
+}

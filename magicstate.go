@@ -7,6 +7,7 @@ import (
 
 	"magicstate/internal/bravyi"
 	"magicstate/internal/core"
+	"magicstate/internal/layout"
 	"magicstate/internal/mesh"
 	"magicstate/internal/plan"
 	"magicstate/internal/resource"
@@ -114,7 +115,23 @@ type Options struct {
 	// Braiding (the zero value) reproduces the paper.
 	Style InteractionStyle
 	// Distance feeds the distance-sensitive styles (zero means 7).
-	Distance    int
+	Distance int
+	// Workload, when non-empty, replaces the built-in factory build with
+	// a frontend circuit: "qasm" (OpenQASM 2 subset), "scaffold"
+	// (Scaffold subset) or "random" (seeded layered generator). The
+	// FactorySpec is ignored for workload runs, and the default strategy
+	// becomes LinearMapping; HierarchicalStitching is rejected because it
+	// needs the built-in factory's round structure.
+	Workload string
+	// WorkloadSource is the workload's input: program source for "qasm"
+	// and "scaffold", a generator spec like "q=8;layers=12;cx=0.4;t=0.2"
+	// for "random".
+	WorkloadSource string
+	// Defects is a canonical defect map ("x,y;x,y", row-major sorted)
+	// naming mesh tiles that are fabrication-defective: they expose no
+	// ports, routing avoids them, and mappers relocate qubits off them.
+	// Empty means a pristine mesh.
+	Defects     string
 	strategySet bool
 }
 
@@ -225,6 +242,24 @@ func (s FactorySpec) Validate() error {
 		return fmt.Errorf("magicstate: %w", err)
 	}
 	return nil
+}
+
+// ValidateWorkload checks a frontend workload input — kind plus source,
+// as Options.Workload/WorkloadSource take them — without running the
+// pipeline: the source is compiled (or generated) and the resulting
+// circuit validated, exactly as the build stage will do. Serving
+// surfaces call this at the request boundary so malformed programs are
+// rejected as client errors before any compute is admitted.
+func ValidateWorkload(kind, source string, seed int64) error {
+	_, err := core.CompileWorkload(kind, source, seed)
+	return err
+}
+
+// ValidateDefects checks a defect-map string (Options.Defects) without
+// running anything.
+func ValidateDefects(s string) error {
+	_, err := layout.ParseDefects(s)
+	return err
 }
 
 // Application describes a workload to provision magic-state production
